@@ -1,0 +1,223 @@
+// Package agingcgra is a full reproduction of "Proactive Aging Mitigation
+// in CGRAs through Utilization-Aware Allocation" (Brandalero, Lignati,
+// Beck, Shafique, Hübner — DAC 2020).
+//
+// The library contains everything the paper's evaluation rests on, built
+// from scratch: an RV32IM subset with assembler and cycle-approximate GPP
+// core (internal/isa, internal/gpp), the ten MiBench-style workloads
+// (internal/prog), the TransRec CGRA fabric and its dynamic binary
+// translation engine with configuration cache (internal/fabric,
+// internal/mapper, internal/cfgcache, internal/dbt), the utilization-aware
+// allocation strategies of Section III (internal/alloc, internal/core),
+// and the NBTI aging, energy and area models of Section IV
+// (internal/aging, internal/energy, internal/area).
+//
+// This root package is the user-facing facade: build a System, run
+// workloads, and regenerate every figure and table of the paper through
+// the Fig*/Table* experiment drivers.
+package agingcgra
+
+import (
+	"fmt"
+
+	"agingcgra/internal/alloc"
+	"agingcgra/internal/dbt"
+	"agingcgra/internal/dse"
+	"agingcgra/internal/energy"
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/gpp"
+	"agingcgra/internal/isa"
+	"agingcgra/internal/prog"
+)
+
+// Re-exported building blocks, so downstream code can stay on the facade.
+type (
+	// Geometry is a CGRA fabric size (rows x columns).
+	Geometry = fabric.Geometry
+	// Allocator decides where configurations execute.
+	Allocator = alloc.Allocator
+	// Report is the detailed outcome of one TransRec run.
+	Report = dbt.Report
+	// SuiteResult aggregates a benchmark suite on one design.
+	SuiteResult = dse.SuiteResult
+	// Size selects workload input scale.
+	Size = prog.Size
+)
+
+// Workload sizes.
+const (
+	Tiny  = prog.Tiny
+	Small = prog.Small
+	Large = prog.Large
+)
+
+// NewGeometry builds a fabric geometry with default provisioning.
+func NewGeometry(rows, cols int) Geometry { return fabric.NewGeometry(rows, cols) }
+
+// Benchmarks returns the names of the ten-benchmark suite in paper order.
+func Benchmarks() []string { return prog.Names() }
+
+// AllocatorNames lists the selectable allocation strategies.
+func AllocatorNames() []string {
+	return []string{
+		"baseline",
+		"utilization-aware",
+		"utilization-aware-rowmajor",
+		"utilization-aware-diagonal",
+		"utilization-aware-horizontal",
+		"utilization-aware-vertical",
+		"utilization-aware-shuffled",
+		"health-aware",
+	}
+}
+
+// NewAllocator builds a named allocation strategy for a geometry.
+func NewAllocator(name string, g Geometry) (Allocator, error) {
+	switch name {
+	case "", "baseline":
+		return alloc.Baseline{}, nil
+	case "utilization-aware", "proposed", "snake":
+		return alloc.NewUtilizationAware(g), nil
+	case "utilization-aware-rowmajor":
+		return alloc.NewUtilizationAware(g, alloc.WithPattern(alloc.RowMajor{})), nil
+	case "utilization-aware-diagonal":
+		return alloc.NewUtilizationAware(g, alloc.WithPattern(alloc.Diagonal{})), nil
+	case "utilization-aware-horizontal":
+		return alloc.NewUtilizationAware(g, alloc.WithPattern(alloc.HorizontalOnly{})), nil
+	case "utilization-aware-vertical":
+		return alloc.NewUtilizationAware(g, alloc.WithPattern(alloc.VerticalOnly{})), nil
+	case "utilization-aware-shuffled":
+		return alloc.NewUtilizationAware(g, alloc.WithPattern(alloc.Shuffled{})), nil
+	case "health-aware":
+		return alloc.NewHealthAware(g, 16), nil
+	}
+	return nil, fmt.Errorf("agingcgra: unknown allocator %q (want one of %v)", name, AllocatorNames())
+}
+
+// Config describes a TransRec system instance.
+type Config struct {
+	// Rows and Cols size the fabric (default: the BE scenario, 2x16).
+	Rows, Cols int
+	// Allocator names the allocation strategy (default "baseline").
+	Allocator string
+	// CacheEntries sizes the configuration cache (default 128).
+	CacheEntries int
+}
+
+// System is a configured TransRec instance ready to run workloads.
+type System struct {
+	geom      Geometry
+	allocName string
+	cacheCap  int
+}
+
+// NewSystem validates the configuration and builds a system.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Rows == 0 {
+		cfg.Rows = 2
+	}
+	if cfg.Cols == 0 {
+		cfg.Cols = 16
+	}
+	g := fabric.NewGeometry(cfg.Rows, cfg.Cols)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := NewAllocator(cfg.Allocator, g); err != nil {
+		return nil, err
+	}
+	cap := cfg.CacheEntries
+	if cap == 0 {
+		cap = 128
+	}
+	return &System{geom: g, allocName: cfg.Allocator, cacheCap: cap}, nil
+}
+
+// Geometry returns the system's fabric geometry.
+func (s *System) Geometry() Geometry { return s.geom }
+
+// RunResult is the outcome of running one benchmark on a System.
+type RunResult struct {
+	// Benchmark is the workload name.
+	Benchmark string
+	// Checksum is the architectural result (also validated internally).
+	Checksum uint32
+	// GPPCycles is the stand-alone GPP reference time.
+	GPPCycles uint64
+	// Report is the detailed TransRec outcome.
+	Report *Report
+	// RelEnergy is TransRec energy relative to the stand-alone GPP.
+	RelEnergy float64
+}
+
+// Speedup returns GPP cycles / TransRec cycles.
+func (r *RunResult) Speedup() float64 {
+	if r.Report.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.GPPCycles) / float64(r.Report.TotalCycles)
+}
+
+// RunBenchmark executes one named workload at the given input scale,
+// validating the architectural result against the Go reference.
+func (s *System) RunBenchmark(name string, size Size) (*RunResult, error) {
+	b, ok := prog.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("agingcgra: unknown benchmark %q (want one of %v)", name, prog.Names())
+	}
+
+	cg, err := b.NewCore(size)
+	if err != nil {
+		return nil, err
+	}
+	gppCycles, gppClasses, err := dbt.RunGPPOnly(cg, gpp.DefaultTiming(), b.MaxInstructions)
+	if err != nil {
+		return nil, err
+	}
+
+	ct, err := b.NewCore(size)
+	if err != nil {
+		return nil, err
+	}
+	allocator, err := NewAllocator(s.allocName, s.geom)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := dbt.NewEngine(dbt.Options{
+		Geom:          s.geom,
+		Allocator:     allocator,
+		CacheCapacity: s.cacheCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := eng.Run(ct, b.MaxInstructions)
+	if err != nil {
+		return nil, err
+	}
+	checksum := ct.Regs[isa.A0]
+	if err := b.Check(ct.Mem, checksum, size); err != nil {
+		return nil, fmt.Errorf("agingcgra: %s produced a wrong result on the CGRA: %w", name, err)
+	}
+	model := energy.Calibrated()
+	return &RunResult{
+		Benchmark: name,
+		Checksum:  checksum,
+		GPPCycles: gppCycles,
+		Report:    rep,
+		RelEnergy: model.Relative(rep, gppCycles, gppClasses),
+	}, nil
+}
+
+// RunSuite executes the whole benchmark suite on this system's design,
+// accumulating stress on one shared fabric.
+func (s *System) RunSuite(size Size) (*SuiteResult, error) {
+	factory := func(g fabric.Geometry) alloc.Allocator {
+		a, err := NewAllocator(s.allocName, g)
+		if err != nil {
+			a = alloc.Baseline{}
+		}
+		return a
+	}
+	return dse.RunSuite(s.geom, factory, dse.Options{Size: size})
+}

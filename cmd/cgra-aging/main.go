@@ -1,0 +1,67 @@
+// cgra-aging runs the aging evaluation of the paper: the Fig. 7 heat-map
+// comparison, the Fig. 8 utilization distributions and delay curves, and
+// Table I's lifetime improvements.
+//
+// Usage:
+//
+//	cgra-aging -size small -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"agingcgra"
+)
+
+func main() {
+	sizeName := flag.String("size", "small", "input size: tiny, small, large")
+	exp := flag.String("exp", "all", "experiment: fig7, fig8, table1 or all")
+	flag.Parse()
+
+	size, err := parseSize(*sizeName)
+	if err != nil {
+		fatal(err)
+	}
+	opt := agingcgra.ExperimentOptions{Size: size}
+
+	if *exp == "fig7" || *exp == "all" {
+		r, err := agingcgra.Fig7(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Render())
+	}
+	if *exp == "fig8" || *exp == "all" {
+		r, err := agingcgra.Fig8(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Render())
+	}
+	if *exp == "table1" || *exp == "all" {
+		r, err := agingcgra.Table1(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Render())
+	}
+}
+
+func parseSize(s string) (agingcgra.Size, error) {
+	switch s {
+	case "tiny":
+		return agingcgra.Tiny, nil
+	case "small":
+		return agingcgra.Small, nil
+	case "large":
+		return agingcgra.Large, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cgra-aging:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// cgra-area evaluates the structural area model: Table II for the BE
+// design by default, or any geometry via flags, including the full
+// component inventory.
+//
+// Usage:
+//
+//	cgra-area -rows 2 -cols 16 -inventory
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"agingcgra"
+	"agingcgra/internal/area"
+	"agingcgra/internal/fabric"
+)
+
+func main() {
+	rows := flag.Int("rows", 2, "fabric rows (W)")
+	cols := flag.Int("cols", 16, "fabric columns (L)")
+	inventory := flag.Bool("inventory", false, "print the full component inventory")
+	flag.Parse()
+
+	if *rows == 2 && *cols == 16 {
+		// The paper's Table II design: use the experiment driver.
+		fmt.Println(agingcgra.Table2().Render())
+	}
+
+	m := area.NewModel()
+	g := fabric.NewGeometry(*rows, *cols)
+	o := m.Overhead(g)
+	fmt.Println(o)
+	fmt.Printf("column critical path: baseline %.0f ps, modified %.0f ps\n",
+		m.ColumnCriticalPathPs(g, false), m.ColumnCriticalPathPs(g, true))
+	fmt.Printf("config cache (128 entries): %.0f um2 (SRAM estimate)\n",
+		m.ConfigCacheAreaUm2(g, 128))
+
+	if *inventory {
+		fmt.Println("\nbaseline inventory:")
+		for _, c := range m.Baseline(g).Components {
+			fmt.Printf("  %-24s %8d cells %10.0f um2\n", c.Name, c.Cells, c.Area)
+		}
+		fmt.Println("movement hardware:")
+		for _, c := range m.MovementHardware(g).Components {
+			fmt.Printf("  %-24s %8d cells %10.0f um2\n", c.Name, c.Cells, c.Area)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// cgra-dse runs the paper's Fig. 6 design-space exploration: the benchmark
+// suite over every fabric size, reporting execution time, energy and
+// occupancy relative to the stand-alone GPP, and the BE/BP/BU selection.
+//
+// Usage:
+//
+//	cgra-dse -size small -csv fig6.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"agingcgra"
+	"agingcgra/internal/report"
+)
+
+func main() {
+	sizeName := flag.String("size", "small", "input size: tiny, small, large")
+	csvPath := flag.String("csv", "", "also write the points as CSV to this file")
+	flag.Parse()
+
+	size, err := parseSize(*sizeName)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := agingcgra.Fig6(agingcgra.ExperimentOptions{Size: size})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Render())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rows := make([][]string, 0, len(res.Points))
+		for _, p := range res.Points {
+			rows = append(rows, []string{
+				p.Geom.String(),
+				fmt.Sprintf("%d", p.Geom.Rows),
+				fmt.Sprintf("%d", p.Geom.Cols),
+				fmt.Sprintf("%.6f", p.RelTime),
+				fmt.Sprintf("%.6f", p.RelEnergy),
+				fmt.Sprintf("%.6f", p.AvgUtil),
+			})
+		}
+		if err := report.WriteCSV(f, []string{"design", "rows", "cols", "rel_time", "rel_energy", "avg_util"}, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+func parseSize(s string) (agingcgra.Size, error) {
+	switch s {
+	case "tiny":
+		return agingcgra.Tiny, nil
+	case "small":
+		return agingcgra.Small, nil
+	case "large":
+		return agingcgra.Large, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cgra-dse:", err)
+	os.Exit(1)
+}

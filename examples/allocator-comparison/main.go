@@ -1,0 +1,64 @@
+// Allocator comparison: run the full workload suite on the BE design under
+// every allocation strategy and compare how evenly each spreads the NBTI
+// stress — and what that means for lifetime.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"agingcgra"
+	"agingcgra/internal/aging"
+	"agingcgra/internal/report"
+)
+
+func main() {
+	geom := agingcgra.NewGeometry(2, 16) // the BE scenario
+	model := aging.NewModel()
+
+	allocators := []string{
+		"baseline",
+		"utilization-aware",
+		"utilization-aware-rowmajor",
+		"utilization-aware-diagonal",
+		"utilization-aware-horizontal",
+		"utilization-aware-vertical",
+		"utilization-aware-shuffled",
+		"health-aware",
+	}
+
+	tab := &report.Table{Header: []string{
+		"allocator", "worst util", "avg util", "CoV", "Gini", "lifetime", "speedup",
+	}}
+
+	var baselineWorst float64
+	for _, name := range allocators {
+		res, err := agingcgra.SuiteOnce(geom, name, agingcgra.ExperimentOptions{Size: agingcgra.Small})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := agingcgra.Flatness(res)
+		if name == "baseline" {
+			baselineWorst = f.Max
+		}
+		tab.AddRow(
+			name,
+			fmt.Sprintf("%.1f%%", 100*f.Max),
+			fmt.Sprintf("%.1f%%", 100*f.Avg),
+			fmt.Sprintf("%.3f", f.CoV),
+			fmt.Sprintf("%.3f", f.Gini),
+			fmt.Sprintf("%.1fy (%.2fx)", model.Lifetime(f.Max), model.Improvement(baselineWorst, f.Max)),
+			fmt.Sprintf("%.2fx", res.Speedup()),
+		)
+	}
+
+	fmt.Printf("allocation strategies on %v, full suite, small inputs\n\n", geom)
+	fmt.Print(tab.String())
+	fmt.Println()
+	fmt.Println("Reading the table: the utilization-aware patterns flatten the duty")
+	fmt.Println("distribution (low CoV/Gini), which divides the worst-case stress and")
+	fmt.Println("multiplies lifetime, at no speedup cost. Horizontal-only and")
+	fmt.Println("vertical-only movement (the cheaper partial ablations) recover only")
+	fmt.Println("part of the benefit; stress-feedback (health-aware) matches the blind")
+	fmt.Println("rotation without needing aging sensors to be wrong about.")
+}

@@ -1,0 +1,82 @@
+// Failure injection: the paper motivates aging mitigation with early-stage
+// FU failures that "limit the ILP exploitation and CGRA performance". This
+// example makes that concrete: it kills the most-stressed FUs one by one
+// (the ones the baseline allocator wears out first) and measures how the
+// DBT's ability to map around dead cells degrades performance — the
+// graceful-degradation extension of the reproduction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"agingcgra/internal/alloc"
+	"agingcgra/internal/dbt"
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/prog"
+	"agingcgra/internal/report"
+)
+
+func main() {
+	geom := fabric.NewGeometry(2, 16) // the BE design
+	bench, _ := prog.ByName("sha")
+
+	// Reference: the healthy fabric.
+	healthy := run(bench, geom, nil)
+	fmt.Printf("healthy fabric: %d cycles\n\n", healthy)
+
+	// Kill FUs in the order the baseline allocator stresses them: the
+	// top-left corner first, exactly where Fig. 1 says the wear
+	// concentrates.
+	killOrder := []fabric.Cell{
+		{Row: 0, Col: 0}, {Row: 0, Col: 1}, {Row: 1, Col: 0},
+		{Row: 0, Col: 2}, {Row: 1, Col: 1}, {Row: 0, Col: 3},
+		{Row: 1, Col: 2}, {Row: 1, Col: 3},
+	}
+
+	tab := &report.Table{Header: []string{"dead FUs", "cycles", "slowdown vs healthy"}}
+	var dead []fabric.Cell
+	for i := 0; i <= len(killOrder); i++ {
+		if i > 0 {
+			dead = append(dead, killOrder[i-1])
+		}
+		cycles := run(bench, geom, dead)
+		tab.AddRow(
+			fmt.Sprintf("%d", len(dead)),
+			fmt.Sprintf("%d", cycles),
+			fmt.Sprintf("%+.1f%%", 100*(float64(cycles)/float64(healthy)-1)),
+		)
+	}
+	fmt.Print(tab.String())
+	fmt.Println()
+	fmt.Println("The DBT maps around dead cells, so the system keeps working —")
+	fmt.Println("but every dead FU near the hot corner costs ILP and stretches the")
+	fmt.Println("configurations. This is precisely the failure mode the paper's")
+	fmt.Println("utilization-aware allocation postpones by 2.3-8x.")
+}
+
+// run executes the benchmark with the given dead cells and returns total
+// cycles. Dead cells force the mapper to place operations elsewhere.
+func run(bench *prog.Benchmark, geom fabric.Geometry, dead []fabric.Cell) uint64 {
+	core, err := bench.NewCore(prog.Tiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := dbt.NewEngine(dbt.Options{
+		Geom:          geom,
+		Allocator:     alloc.Baseline{},
+		DisabledCells: dead,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := eng.Run(core, bench.MaxInstructions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Architectural correctness survives failures.
+	if err := bench.Check(core.Mem, core.Regs[10], prog.Tiny); err != nil {
+		log.Fatal(err)
+	}
+	return rep.TotalCycles
+}

@@ -1,0 +1,147 @@
+package agingcgra
+
+import (
+	"math"
+	"testing"
+)
+
+// TestReproductionBandsSmall pins the paper-reproduction bands of
+// EXPERIMENTS.md at the Small (paper-equivalent) scale. If any of these
+// fail, the repository no longer reproduces the paper — regardless of what
+// the unit tests say. Skipped under -short.
+func TestReproductionBandsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reproduction bands need Small-scale runs")
+	}
+
+	// --- Fig. 1: the motivational corner bias on the 4x8 fabric. ---
+	f1, err := Fig1(ExperimentOptions{Size: Small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f1.Util.At(0, 0); got < 0.95 {
+		t.Errorf("Fig1 hot corner = %.3f, want >= 0.95 (paper: 1.00)", got)
+	}
+	if got := f1.Util.At(3, 7); got > 0.05 {
+		t.Errorf("Fig1 cold corner = %.3f, want <= 0.05 (paper: 0.01)", got)
+	}
+	// Monotone-ish decay: row and column averages must fall.
+	rowAvg := func(r int) float64 {
+		var s float64
+		for c := 0; c < 8; c++ {
+			s += f1.Util.At(r, c)
+		}
+		return s / 8
+	}
+	for r := 1; r < 4; r++ {
+		if rowAvg(r) >= rowAvg(r-1) {
+			t.Errorf("Fig1 row %d avg %.3f not below row %d avg %.3f",
+				r+1, rowAvg(r), r, rowAvg(r-1))
+		}
+	}
+
+	// --- Table I: lifetime improvements on the paper's scenarios. ---
+	t1, err := Table1(ExperimentOptions{Size: Small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, bp, bu := t1.Rows[0], t1.Rows[1], t1.Rows[2]
+
+	// BE reproduces closely: paper 2.29x, band [2.0, 2.8].
+	if be.LifetimeImprovement < 2.0 || be.LifetimeImprovement > 2.8 {
+		t.Errorf("BE improvement = %.2fx, want within [2.0, 2.8] (paper 2.29x)", be.LifetimeImprovement)
+	}
+	// BE average utilization matches the paper's 39.7% within a few points.
+	if math.Abs(be.AvgUtil-0.397) > 0.06 {
+		t.Errorf("BE avg util = %.3f, want 0.397 +/- 0.06", be.AvgUtil)
+	}
+	// Proposed worst = the paper's 41.1% within a few points.
+	if math.Abs(be.ProposedWorst-0.411) > 0.05 {
+		t.Errorf("BE proposed worst = %.3f, want 0.411 +/- 0.05", be.ProposedWorst)
+	}
+	// Improvements grow with fabric size and exceed the paper's values
+	// (documented overshoot in EXPERIMENTS.md).
+	if !(be.LifetimeImprovement < bp.LifetimeImprovement && bp.LifetimeImprovement < bu.LifetimeImprovement) {
+		t.Errorf("improvements not monotone: %.2f %.2f %.2f",
+			be.LifetimeImprovement, bp.LifetimeImprovement, bu.LifetimeImprovement)
+	}
+	if bp.LifetimeImprovement < 4.0 || bu.LifetimeImprovement < 7.5 {
+		t.Errorf("BP/BU improvements %.2f/%.2f below the paper's 4.37/7.97",
+			bp.LifetimeImprovement, bu.LifetimeImprovement)
+	}
+	// The rotation must be performance-neutral ("negligible overheads").
+	for _, row := range t1.Rows {
+		if math.Abs(row.PerfOverhead) > 0.01 {
+			t.Errorf("%s perf overhead = %.3f%%, want |x| <= 1%%", row.Scenario, 100*row.PerfOverhead)
+		}
+	}
+	// The BE narrative: ~3 years baseline, ~7 years proposed.
+	if be.BaselineLifetimeYears < 2.7 || be.BaselineLifetimeYears > 3.5 {
+		t.Errorf("BE baseline lifetime = %.1fy, want ~3y", be.BaselineLifetimeYears)
+	}
+	if be.ProposedLifetimeYears < 6.2 || be.ProposedLifetimeYears > 8.2 {
+		t.Errorf("BE proposed lifetime = %.1fy, want ~7y", be.ProposedLifetimeYears)
+	}
+
+	// --- Fig. 6: the energy anchors and scenario selection. ---
+	f6, err := Fig6(ExperimentOptions{Size: Small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]float64{ // design -> {target relEnergy, tolerance}
+		"L16,W2": {0.90, 0.04},
+		"L32,W4": {1.20, 0.05},
+		"L32,W8": {1.46, 0.05},
+	}
+	for _, p := range f6.Points {
+		if w, ok := want[p.Geom.String()]; ok {
+			if math.Abs(p.RelEnergy-w[0]) > w[1] {
+				t.Errorf("%v rel energy = %.3f, want %.2f +/- %.2f",
+					p.Geom, p.RelEnergy, w[0], w[1])
+			}
+		}
+		// Every design accelerates: speedups in the paper's 1.5-2.5x band.
+		if p.Speedup < 1.4 || p.Speedup > 2.6 {
+			t.Errorf("%v speedup = %.2f outside [1.4, 2.6]", p.Geom, p.Speedup)
+		}
+	}
+	if f6.Selected[BE] != NewGeometry(2, 16) {
+		t.Errorf("BE selection = %v, want L16,W2", f6.Selected[BE])
+	}
+	if f6.Selected[BU] != NewGeometry(8, 32) {
+		t.Errorf("BU selection = %v, want L32,W8", f6.Selected[BU])
+	}
+	// BP lands at W4 (L24 or L32 are time-equivalent; see EXPERIMENTS.md).
+	if f6.Selected[BP].Rows != 4 {
+		t.Errorf("BP selection = %v, want a W4 design", f6.Selected[BP])
+	}
+
+	// --- Table II: the area claims. ---
+	t2 := Table2()
+	if inc := t2.Overhead.AreaIncrease(); inc <= 0 || inc >= 0.10 {
+		t.Errorf("area overhead = %.2f%%, want (0, 10%%) (paper +4.15%%)", 100*inc)
+	}
+	if t2.CriticalPathBasePs != t2.CriticalPathModPs {
+		t.Error("movement hardware changed the critical path (paper: both 120 ps)")
+	}
+}
+
+// TestDeterministicReproduction runs one scenario comparison twice and
+// demands bit-identical utilization maps: the property every number in
+// EXPERIMENTS.md relies on.
+func TestDeterministicReproduction(t *testing.T) {
+	run := func() []float64 {
+		r, err := SuiteOnce(NewGeometry(2, 16), "utilization-aware",
+			ExperimentOptions{Size: Tiny, Benchmarks: []string{"crc32", "sha"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Util.Duty
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic duty at cell %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package aging implements the paper's NBTI model (Section II.A, Eq. 1):
+//
+//	ΔVt = 0.005 · e^(−1500/T) · Vdd⁴ · t^(1/6) · u^(1/6)
+//
+// with the delay degradation approximated to first order as the relative
+// increase in Vt. The end-of-life criterion follows the paper's worst-case
+// calibration: a device under 100% stress reaches 10% delay degradation
+// after 3 years (the "10% over 3 years" literature estimate the paper
+// adopts). Because ΔVt depends on the product t·u, the lifetime at a fixed
+// degradation threshold scales exactly as 1/u — which is why the paper's
+// lifetime improvement equals the worst-utilization ratio.
+package aging
+
+import (
+	"fmt"
+	"math"
+)
+
+// Conditions holds the operating point of the NBTI model.
+type Conditions struct {
+	// TemperatureK is the junction temperature in kelvin.
+	TemperatureK float64
+	// Vdd is the supply voltage in volts.
+	Vdd float64
+	// Vt0 is the nominal threshold voltage in volts, used to convert ΔVt
+	// into relative delay degradation.
+	Vt0 float64
+}
+
+// DefaultConditions is the worst-case corner used throughout: a hot 15nm
+// low-power embedded part.
+func DefaultConditions() Conditions {
+	return Conditions{
+		TemperatureK: 350, // 77°C hot spot
+		Vdd:          0.8,
+		Vt0:          0.35,
+	}
+}
+
+// Validate checks physical plausibility.
+func (c Conditions) Validate() error {
+	if c.TemperatureK <= 0 {
+		return fmt.Errorf("aging: temperature %v K must be positive", c.TemperatureK)
+	}
+	if c.Vdd <= 0 || c.Vdd > 2 {
+		return fmt.Errorf("aging: Vdd %v V out of range", c.Vdd)
+	}
+	if c.Vt0 <= 0 || c.Vt0 >= c.Vdd {
+		return fmt.Errorf("aging: Vt0 %v V must be in (0, Vdd)", c.Vt0)
+	}
+	return nil
+}
+
+// DeltaVt evaluates Eq. 1: the long-term NBTI-induced threshold-voltage
+// increase (volts) after tYears years at duty cycle u in [0, 1].
+func (c Conditions) DeltaVt(tYears, u float64) float64 {
+	if tYears <= 0 || u <= 0 {
+		return 0
+	}
+	return 0.005 *
+		math.Exp(-1500/c.TemperatureK) *
+		math.Pow(c.Vdd, 4) *
+		math.Pow(tYears, 1.0/6) *
+		math.Pow(u, 1.0/6)
+}
+
+// Model couples the NBTI conditions with the end-of-life calibration.
+type Model struct {
+	Cond Conditions
+	// FailThreshold is the relative delay degradation considered
+	// end-of-life (paper: 0.10).
+	FailThreshold float64
+	// CalibYears is the time to FailThreshold at u = CalibUtil
+	// (paper: 3 years at worst case).
+	CalibYears float64
+	// CalibUtil is the duty cycle of the calibration device (1.0 = a
+	// device stressed continuously).
+	CalibUtil float64
+}
+
+// NewModel returns the paper's calibration: 10% degradation after 3 years
+// of continuous worst-case stress.
+func NewModel() Model {
+	return Model{
+		Cond:          DefaultConditions(),
+		FailThreshold: 0.10,
+		CalibYears:    3,
+		CalibUtil:     1.0,
+	}
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if err := m.Cond.Validate(); err != nil {
+		return err
+	}
+	if m.FailThreshold <= 0 || m.FailThreshold >= 1 {
+		return fmt.Errorf("aging: fail threshold %v out of (0,1)", m.FailThreshold)
+	}
+	if m.CalibYears <= 0 || m.CalibUtil <= 0 || m.CalibUtil > 1 {
+		return fmt.Errorf("aging: calibration %v years at u=%v invalid", m.CalibYears, m.CalibUtil)
+	}
+	return nil
+}
+
+// delayScale converts ΔVt to relative delay degradation such that the
+// calibration point lands exactly on FailThreshold.
+func (m Model) delayScale() float64 {
+	ref := m.Cond.DeltaVt(m.CalibYears, m.CalibUtil)
+	if ref == 0 {
+		return 0
+	}
+	return m.FailThreshold / ref
+}
+
+// DelayIncrease returns the relative delay degradation after tYears at
+// duty cycle u (e.g. 0.1 = 10% slower).
+func (m Model) DelayIncrease(tYears, u float64) float64 {
+	return m.Cond.DeltaVt(tYears, u) * m.delayScale()
+}
+
+// Lifetime returns the years until the delay degradation reaches
+// FailThreshold for a device at duty cycle u. Because ΔVt ∝ (t·u)^(1/6),
+// the closed form is CalibYears · CalibUtil / u.
+func (m Model) Lifetime(u float64) float64 {
+	if u <= 0 {
+		return math.Inf(1)
+	}
+	return m.CalibYears * m.CalibUtil / u
+}
+
+// LifetimeNumeric solves for the lifetime by bisection; it exists to
+// validate the closed form and to support alternative delay mappings.
+func (m Model) LifetimeNumeric(u float64) float64 {
+	if u <= 0 {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, 1e6
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if m.DelayIncrease(mid, u) < m.FailThreshold {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Improvement returns the lifetime-extension factor when the worst-case
+// duty cycle drops from uBaseline to uProposed: the paper's Table I metric.
+func (m Model) Improvement(uBaseline, uProposed float64) float64 {
+	if uBaseline <= 0 {
+		return 1
+	}
+	if uProposed <= 0 {
+		return math.Inf(1)
+	}
+	return uBaseline / uProposed
+}
+
+// DelaySeries samples the delay degradation over the years for the Fig. 8
+// (bottom) curves.
+type DelayPoint struct {
+	Years float64
+	// Increase is the relative delay degradation.
+	Increase float64
+}
+
+// DelaySeries returns maxYears+1 yearly samples of delay degradation for a
+// device at duty cycle u, starting at year 0.
+func (m Model) DelaySeries(u float64, maxYears int, perYear int) []DelayPoint {
+	if perYear < 1 {
+		perYear = 1
+	}
+	n := maxYears*perYear + 1
+	out := make([]DelayPoint, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(perYear)
+		out[i] = DelayPoint{Years: t, Increase: m.DelayIncrease(t, u)}
+	}
+	return out
+}
+
+// GuardbandFrequency returns the fraction of nominal frequency a design
+// must be clocked at to survive `years` at duty cycle u without timing
+// failure: 1 / (1 + delay increase).
+func (m Model) GuardbandFrequency(years, u float64) float64 {
+	return 1 / (1 + m.DelayIncrease(years, u))
+}

@@ -1,0 +1,196 @@
+package aging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaVtFormula(t *testing.T) {
+	c := DefaultConditions()
+	// Hand-evaluated Eq. 1 at T=350K, Vdd=0.8, t=3, u=1:
+	// 0.005 * exp(-1500/350) * 0.8^4 * 3^(1/6).
+	want := 0.005 * math.Exp(-1500.0/350) * math.Pow(0.8, 4) * math.Pow(3, 1.0/6)
+	if got := c.DeltaVt(3, 1); math.Abs(got-want) > 1e-15 {
+		t.Errorf("DeltaVt(3,1) = %v, want %v", got, want)
+	}
+	if c.DeltaVt(0, 1) != 0 || c.DeltaVt(1, 0) != 0 {
+		t.Error("zero time or utilization must give zero aging")
+	}
+}
+
+func TestDeltaVtMonotonicity(t *testing.T) {
+	c := DefaultConditions()
+	f := func(a, b uint8) bool {
+		t1 := 0.1 + float64(a)/16
+		t2 := t1 + float64(b)/16 + 0.01
+		return c.DeltaVt(t2, 0.5) > c.DeltaVt(t1, 0.5) &&
+			c.DeltaVt(1, math.Min(t2, 1)) >= c.DeltaVt(1, math.Min(t1, 1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaVtDependsOnProduct(t *testing.T) {
+	// ΔVt depends only on t·u: halving utilization doubles lifetime.
+	c := DefaultConditions()
+	a := c.DeltaVt(3, 1.0)
+	b := c.DeltaVt(6, 0.5)
+	if math.Abs(a-b) > 1e-15 {
+		t.Errorf("DeltaVt(3,1)=%v != DeltaVt(6,0.5)=%v", a, b)
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	m := NewModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// At the calibration point the delay increase is exactly the
+	// threshold.
+	if got := m.DelayIncrease(3, 1); math.Abs(got-0.10) > 1e-12 {
+		t.Errorf("DelayIncrease(3,1) = %v, want 0.10", got)
+	}
+	if got := m.Lifetime(1); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Lifetime(1) = %v, want 3", got)
+	}
+}
+
+// TestPaperScenarios reproduces the paper's Table I arithmetic: lifetime
+// improvements from the published worst-case utilizations.
+func TestPaperScenarios(t *testing.T) {
+	m := NewModel()
+	cases := []struct {
+		name           string
+		uBase, uProp   float64
+		wantImprove    float64
+		improveEpsilon float64
+	}{
+		{"BE", 0.945, 0.411, 2.29, 0.02},
+		{"BP", 0.981, 0.224, 4.37, 0.02},
+		{"BU", 0.981, 0.123, 7.97, 0.02},
+	}
+	for _, c := range cases {
+		got := m.Improvement(c.uBase, c.uProp)
+		if math.Abs(got-c.wantImprove) > c.improveEpsilon {
+			t.Errorf("%s: improvement = %.3f, want %.2f", c.name, got, c.wantImprove)
+		}
+		// Cross-check: the lifetimes individually.
+		lb, lp := m.Lifetime(c.uBase), m.Lifetime(c.uProp)
+		if math.Abs(lp/lb-got) > 1e-9 {
+			t.Errorf("%s: lifetime ratio %v inconsistent with improvement %v", c.name, lp/lb, got)
+		}
+	}
+	// The paper's BE narrative: 10% degradation at ~3 years baseline vs
+	// ~7 years proposed.
+	if lb := m.Lifetime(0.945); math.Abs(lb-3.17) > 0.01 {
+		t.Errorf("BE baseline lifetime = %.2f years, want ~3.17", lb)
+	}
+	if lp := m.Lifetime(0.411); math.Abs(lp-7.30) > 0.01 {
+		t.Errorf("BE proposed lifetime = %.2f years, want ~7.30", lp)
+	}
+}
+
+func TestLifetimeClosedFormMatchesNumeric(t *testing.T) {
+	m := NewModel()
+	for _, u := range []float64{1, 0.945, 0.5, 0.411, 0.224, 0.123, 0.056, 0.01} {
+		closed := m.Lifetime(u)
+		numeric := m.LifetimeNumeric(u)
+		if math.Abs(closed-numeric)/closed > 1e-6 {
+			t.Errorf("u=%v: closed %v vs numeric %v", u, closed, numeric)
+		}
+	}
+}
+
+func TestLifetimeEdgeCases(t *testing.T) {
+	m := NewModel()
+	if !math.IsInf(m.Lifetime(0), 1) {
+		t.Error("zero utilization must never fail")
+	}
+	if !math.IsInf(m.Improvement(0.9, 0), 1) {
+		t.Error("improvement to zero utilization must be infinite")
+	}
+	if m.Improvement(0, 0.5) != 1 {
+		t.Error("improvement from zero baseline defaults to 1")
+	}
+}
+
+func TestDelaySeries(t *testing.T) {
+	m := NewModel()
+	s := m.DelaySeries(0.945, 10, 4)
+	if len(s) != 41 {
+		t.Fatalf("series length %d, want 41", len(s))
+	}
+	if s[0].Years != 0 || s[0].Increase != 0 {
+		t.Error("series must start at origin")
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Increase <= s[i-1].Increase {
+			t.Fatalf("series not strictly increasing at %d", i)
+		}
+	}
+	if s[len(s)-1].Years != 10 {
+		t.Errorf("series ends at %v years, want 10", s[len(s)-1].Years)
+	}
+}
+
+func TestGuardbandFrequency(t *testing.T) {
+	m := NewModel()
+	f := m.GuardbandFrequency(3, 1)
+	want := 1 / 1.1
+	if math.Abs(f-want) > 1e-12 {
+		t.Errorf("guardband = %v, want %v", f, want)
+	}
+	if m.GuardbandFrequency(0, 1) != 1 {
+		t.Error("fresh silicon needs no guardband")
+	}
+}
+
+func TestConditionsValidate(t *testing.T) {
+	bad := []Conditions{
+		{TemperatureK: 0, Vdd: 0.8, Vt0: 0.3},
+		{TemperatureK: 350, Vdd: 0, Vt0: 0.3},
+		{TemperatureK: 350, Vdd: 3, Vt0: 0.3},
+		{TemperatureK: 350, Vdd: 0.8, Vt0: 0.9},
+		{TemperatureK: 350, Vdd: 0.8, Vt0: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("conditions %+v accepted", c)
+		}
+	}
+	if err := DefaultConditions().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := NewModel()
+	m.FailThreshold = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	m = NewModel()
+	m.CalibYears = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative calibration accepted")
+	}
+}
+
+// Temperature and voltage sensitivity: hotter and higher-Vdd parts age
+// faster (relevant to the lifetime-planning example).
+func TestSensitivity(t *testing.T) {
+	hot := DefaultConditions()
+	hot.TemperatureK = 400
+	cold := DefaultConditions()
+	cold.TemperatureK = 300
+	if hot.DeltaVt(3, 1) <= cold.DeltaVt(3, 1) {
+		t.Error("hotter must age faster")
+	}
+	hi := DefaultConditions()
+	hi.Vdd = 1.0
+	if hi.DeltaVt(3, 1) <= DefaultConditions().DeltaVt(3, 1) {
+		t.Error("higher Vdd must age faster")
+	}
+}

@@ -1,0 +1,87 @@
+package alloc
+
+import (
+	"fmt"
+
+	"agingcgra/internal/fabric"
+)
+
+// HealthAware is the paper's future-work extension: instead of blindly
+// rotating, it uses accumulated per-FU stress to pick the pivot that
+// minimises the projected worst-case stress. Because an exhaustive search
+// per execution would be costly in hardware, the search runs every
+// RecomputeEvery executions and the chosen pivot is held in between.
+type HealthAware struct {
+	geom   fabric.Geometry
+	stress []uint64 // physical per-cell stressed cycles, row-major
+	// recomputeEvery is the pivot re-evaluation period.
+	recomputeEvery uint64
+	count          uint64
+	current        fabric.Offset
+}
+
+// NewHealthAware builds the stress-feedback allocator. recomputeEvery <= 0
+// defaults to 16.
+func NewHealthAware(g fabric.Geometry, recomputeEvery int) *HealthAware {
+	if recomputeEvery <= 0 {
+		recomputeEvery = 16
+	}
+	return &HealthAware{
+		geom:           g,
+		stress:         make([]uint64, g.NumFUs()),
+		recomputeEvery: uint64(recomputeEvery),
+	}
+}
+
+// Name implements Allocator.
+func (h *HealthAware) Name() string {
+	return fmt.Sprintf("health-aware/every=%d", h.recomputeEvery)
+}
+
+// Next implements Allocator.
+func (h *HealthAware) Next(cfg *fabric.Config) fabric.Offset {
+	if h.count%h.recomputeEvery == 0 && cfg != nil {
+		h.current = h.bestOffset(cfg)
+	}
+	h.count++
+	return h.current
+}
+
+// bestOffset scans all pivots and picks the one whose placement touches the
+// least-stressed cells: minimise the maximum projected stress, break ties
+// by total stress, then by row-major order for determinism.
+func (h *HealthAware) bestOffset(cfg *fabric.Config) fabric.Offset {
+	cells := cfg.Cells()
+	best := fabric.Offset{}
+	bestMax := ^uint64(0)
+	bestSum := ^uint64(0)
+	for r := 0; r < h.geom.Rows; r++ {
+		for c := 0; c < h.geom.Cols; c++ {
+			off := fabric.Offset{Row: r, Col: c}
+			var maxS, sumS uint64
+			for _, cell := range cells {
+				p := off.Apply(cell, h.geom)
+				s := h.stress[p.Row*h.geom.Cols+p.Col]
+				if s > maxS {
+					maxS = s
+				}
+				sumS += s
+			}
+			if maxS < bestMax || (maxS == bestMax && sumS < bestSum) {
+				best, bestMax, bestSum = off, maxS, sumS
+			}
+		}
+	}
+	return best
+}
+
+// ObserveStress implements StressObserver.
+func (h *HealthAware) ObserveStress(cells []fabric.Cell, off fabric.Offset, cycles uint64) {
+	for _, cell := range cells {
+		p := off.Apply(cell, h.geom)
+		h.stress[p.Row*h.geom.Cols+p.Col] += cycles
+	}
+}
+
+var _ Allocator = (*HealthAware)(nil)
+var _ StressObserver = (*HealthAware)(nil)

@@ -1,0 +1,304 @@
+// Package area is the structural area model standing in for the paper's
+// Cadence RTL Compiler + NanGate 15nm synthesis flow (Table II). It builds
+// a cell-level inventory of the CGRA fabric — FU slices, per-column
+// crossbars, configuration registers, reconfiguration logic, load/store
+// unit, result buffering — and of the three movement extensions of
+// Section III.B: the per-column configuration-line multiplexers
+// (horizontal movement, Fig. 5b), the per-column barrel shifters on the
+// configuration register groups (vertical movement, Fig. 5c), and the
+// per-column, per-context-line 2:1 wrap-around multiplexers.
+//
+// Absolute µm² are calibrated to 15nm-like standard cell sizes; the claims
+// under test are relative: the movement hardware must stay below 10% of
+// the fabric (the paper measures +4.15% area / +4.45% cells on the BE
+// design) and must not touch the data-path critical path (120 ps per
+// column in both variants).
+package area
+
+import (
+	"fmt"
+
+	"agingcgra/internal/energy"
+	"agingcgra/internal/fabric"
+)
+
+// DataWidth is the fabric's datapath width in bits.
+const DataWidth = 32
+
+// CellLibrary gives per-cell areas in µm² for a 15nm-like library.
+type CellLibrary struct {
+	INV   float64
+	NAND2 float64
+	MUX2  float64
+	XOR2  float64
+	DFF   float64
+	FA    float64 // full adder
+}
+
+// NanGate15 returns the default library calibration.
+func NanGate15() CellLibrary {
+	return CellLibrary{
+		INV:   0.098,
+		NAND2: 0.147,
+		MUX2:  0.245,
+		XOR2:  0.294,
+		DFF:   0.785,
+		FA:    0.882,
+	}
+}
+
+// Component is one named block of the inventory.
+type Component struct {
+	Name  string
+	Cells int
+	Area  float64 // µm²
+}
+
+// Breakdown is a full inventory.
+type Breakdown struct {
+	Components []Component
+}
+
+// TotalCells sums the cell counts.
+func (b Breakdown) TotalCells() int {
+	n := 0
+	for _, c := range b.Components {
+		n += c.Cells
+	}
+	return n
+}
+
+// TotalArea sums the areas in µm².
+func (b Breakdown) TotalArea() float64 {
+	a := 0.0
+	for _, c := range b.Components {
+		a += c.Area
+	}
+	return a
+}
+
+// Find returns the named component.
+func (b Breakdown) Find(name string) (Component, bool) {
+	for _, c := range b.Components {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Component{}, false
+}
+
+// Model computes inventories for a fabric geometry.
+type Model struct {
+	Lib CellLibrary
+}
+
+// NewModel returns the default model.
+func NewModel() Model { return Model{Lib: NanGate15()} }
+
+// muxTreeCells returns the MUX2 count of an n:1 multiplexer tree per bit.
+func muxTreeCells(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return n - 1
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// fuSlice returns (cells, area) of one FU grid slice: a 32-bit ALU column
+// slice with adder, logic unit, one shifter stage set, the operand/result
+// steering and local control. Multi-column units (multiplier, divider,
+// memory interfaces) are modelled as multiple slices, matching how the
+// configuration grid accounts them.
+func (m Model) fuSlice() (int, float64) {
+	adder := DataWidth          // FA per bit
+	logic := 7 * DataWidth      // and/or/xor plus steering NAND2
+	shifter := 5 * DataWidth    // MUX2: full 32-bit barrel shifter stages
+	mulFA := 12 * DataWidth     // multiplier array share (FA)
+	mulGlue := 12 * DataWidth   // multiplier partial products (NAND2)
+	resultMux := 4 * DataWidth  // MUX2: function select tree
+	comparator := 2 * DataWidth // XOR2
+	control := 3*DataWidth + 32 // INV/NAND decode
+	buffers := 8 * DataWidth    // INV drive/repeaters
+	cells := adder + logic + shifter + mulFA + mulGlue + resultMux +
+		comparator + control + buffers
+	areaV := float64(adder+mulFA)*m.Lib.FA +
+		float64(logic+mulGlue)*m.Lib.NAND2 +
+		float64(shifter+resultMux)*m.Lib.MUX2 +
+		float64(comparator)*m.Lib.XOR2 +
+		float64(control+buffers)*m.Lib.INV
+	return cells, areaV
+}
+
+// Baseline returns the inventory of the unmodified TransRec CGRA.
+func (m Model) Baseline(g fabric.Geometry) Breakdown {
+	W, L, ctx := g.Rows, g.Cols, g.CtxLines
+	var b Breakdown
+	add := func(name string, cells int, area float64) {
+		b.Components = append(b.Components, Component{Name: name, Cells: cells, Area: area})
+	}
+
+	// FU array.
+	fuC, fuA := m.fuSlice()
+	add("fu-array", W*L*fuC, float64(W*L)*fuA)
+
+	// Input crossbars: per column, each FU has two operand selects over the
+	// context lines, DataWidth bits wide.
+	inMux := L * W * 2 * DataWidth * muxTreeCells(ctx)
+	add("input-crossbars", inMux, float64(inMux)*m.Lib.MUX2)
+
+	// Output crossbars: per column, each context line selects among the W
+	// FU outputs plus the pass-through of the previous column.
+	outMux := L * ctx * DataWidth * muxTreeCells(W+1)
+	add("output-crossbars", outMux, float64(outMux)*m.Lib.MUX2)
+
+	// Configuration registers: the per-column configuration word.
+	cfgBits := energy.ConfigBitsPerColumn(g)
+	add("config-registers", L*cfgBits, float64(L*cfgBits)*m.Lib.DFF)
+
+	// Input context registers.
+	ctxRegs := ctx * DataWidth
+	add("input-context", ctxRegs, float64(ctxRegs)*m.Lib.DFF)
+
+	// Reconfiguration logic: CfgLines line drivers/latches plus the column
+	// write-enable sequencer.
+	reconf := g.CfgLines*cfgBits + 8*L
+	add("reconfig-logic", reconf, float64(g.CfgLines*cfgBits)*m.Lib.DFF+float64(8*L)*m.Lib.NAND2)
+
+	// Load/store unit: address generation, one read and one write port
+	// queue entries.
+	lsu := 2*DataWidth /*AGU FA*/ + 8*DataWidth /*queues DFF*/ + 400
+	add("load-store-unit", lsu, float64(2*DataWidth)*m.Lib.FA+float64(8*DataWidth)*m.Lib.DFF+400*m.Lib.NAND2)
+
+	// Result/commit buffering toward the ROB (Fig. 4a).
+	rob := 2 * ctx * DataWidth
+	add("result-buffer", rob, float64(rob)*m.Lib.DFF)
+
+	return b
+}
+
+// Modified returns the inventory with the utilization-aware movement
+// hardware added.
+func (m Model) Modified(g fabric.Geometry) Breakdown {
+	b := m.Baseline(g)
+	for _, c := range m.MovementHardware(g).Components {
+		b.Components = append(b.Components, c)
+	}
+	return b
+}
+
+// MovementHardware returns only the Section III.B extensions.
+func (m Model) MovementHardware(g fabric.Geometry) Breakdown {
+	W, L, ctx := g.Rows, g.Cols, g.CtxLines
+	cfgBits := energy.ConfigBitsPerColumn(g)
+	var b Breakdown
+	add := func(name string, cells int, area float64) {
+		b.Components = append(b.Components, Component{Name: name, Cells: cells, Area: area})
+	}
+
+	// Horizontal movement: per column, an n:1 multiplexer lets the column
+	// listen to any configuration line (Fig. 5b).
+	hm := L * cfgBits * muxTreeCells(g.CfgLines)
+	add("hmove-cfg-muxes", hm, float64(hm)*m.Lib.MUX2)
+
+	// Vertical movement: barrel shifters on the three per-column register
+	// groups (input muxes, FUs, output muxes - Fig. 5c); a W-position
+	// barrel shifter is log2(W) MUX2 stages over the group's bits.
+	stages := log2ceil(W)
+	vm := L * cfgBits * stages
+	add("vmove-barrel-shifters", vm, float64(vm)*m.Lib.MUX2)
+
+	// Wrap-around: one 2:1 multiplexer per column per context line
+	// selecting between the previous column's line and the initial input
+	// context.
+	wrap := L * ctx * DataWidth
+	add("wraparound-muxes", wrap, float64(wrap)*m.Lib.MUX2)
+
+	return b
+}
+
+// Overhead summarises Table II: baseline vs modified totals and relative
+// increases.
+type Overhead struct {
+	Geom          fabric.Geometry
+	BaselineCells int
+	ModifiedCells int
+	BaselineArea  float64
+	ModifiedArea  float64
+}
+
+// CellsIncrease returns the relative cell-count increase.
+func (o Overhead) CellsIncrease() float64 {
+	if o.BaselineCells == 0 {
+		return 0
+	}
+	return float64(o.ModifiedCells-o.BaselineCells) / float64(o.BaselineCells)
+}
+
+// AreaIncrease returns the relative area increase.
+func (o Overhead) AreaIncrease() float64 {
+	if o.BaselineArea == 0 {
+		return 0
+	}
+	return (o.ModifiedArea - o.BaselineArea) / o.BaselineArea
+}
+
+// Overhead computes the Table II comparison for a geometry.
+func (m Model) Overhead(g fabric.Geometry) Overhead {
+	base := m.Baseline(g)
+	mod := m.Modified(g)
+	return Overhead{
+		Geom:          g,
+		BaselineCells: base.TotalCells(),
+		ModifiedCells: mod.TotalCells(),
+		BaselineArea:  base.TotalArea(),
+		ModifiedArea:  mod.TotalArea(),
+	}
+}
+
+// Timing constants for the column critical path (15nm-like).
+const (
+	mux2DelayPs = 12.0
+	aluDelayPs  = 62.0
+)
+
+// ColumnCriticalPathPs estimates the single-column data critical path:
+// input crossbar tree, ALU, output crossbar tree. The movement hardware
+// does not appear: the configuration-line muxes and barrel shifters sit on
+// the (non-critical) configuration path, and the wrap-around selection
+// folds into the output crossbar's select tree, which only deepens when
+// W+2 crosses a power of two.
+func (m Model) ColumnCriticalPathPs(g fabric.Geometry, modified bool) float64 {
+	inLevels := log2ceil(g.CtxLines)
+	outInputs := g.Rows + 1
+	if modified {
+		outInputs = g.Rows + 2 // wrap-around adds the input-context leg
+	}
+	outLevels := log2ceil(outInputs)
+	return float64(inLevels)*mux2DelayPs + aluDelayPs + float64(outLevels)*mux2DelayPs
+}
+
+// ConfigCacheAreaUm2 is the FinCACTI-substitute SRAM estimate for the
+// configuration cache: entries × columns × bits per column at a 15nm SRAM
+// bit-cell density (µm² per bit including array overheads).
+func (m Model) ConfigCacheAreaUm2(g fabric.Geometry, entries int) float64 {
+	const um2PerBit = 0.0255
+	bits := entries * g.Cols * energy.ConfigBitsPerColumn(g)
+	return float64(bits) * um2PerBit
+}
+
+// String renders an Overhead like Table II.
+func (o Overhead) String() string {
+	return fmt.Sprintf("%v: area %.0f -> %.0f um2 (%+.2f%%), cells %d -> %d (%+.2f%%)",
+		o.Geom, o.BaselineArea, o.ModifiedArea, 100*o.AreaIncrease(),
+		o.BaselineCells, o.ModifiedCells, 100*o.CellsIncrease())
+}

@@ -1,0 +1,157 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"agingcgra/internal/fabric"
+)
+
+func beGeom() fabric.Geometry { return fabric.NewGeometry(2, 16) }
+
+func TestBaselineInventoryComplete(t *testing.T) {
+	m := NewModel()
+	b := m.Baseline(beGeom())
+	want := []string{
+		"fu-array", "input-crossbars", "output-crossbars",
+		"config-registers", "input-context", "reconfig-logic",
+		"load-store-unit", "result-buffer",
+	}
+	for _, name := range want {
+		c, ok := b.Find(name)
+		if !ok {
+			t.Errorf("missing component %q", name)
+			continue
+		}
+		if c.Cells <= 0 || c.Area <= 0 {
+			t.Errorf("component %q has empty size: %+v", name, c)
+		}
+	}
+	if _, ok := b.Find("hmove-cfg-muxes"); ok {
+		t.Error("baseline must not contain movement hardware")
+	}
+}
+
+func TestModifiedAddsExactlyMovementHardware(t *testing.T) {
+	m := NewModel()
+	g := beGeom()
+	base := m.Baseline(g)
+	mod := m.Modified(g)
+	mv := m.MovementHardware(g)
+	if mod.TotalCells() != base.TotalCells()+mv.TotalCells() {
+		t.Error("modified cells != baseline + movement")
+	}
+	if math.Abs(mod.TotalArea()-(base.TotalArea()+mv.TotalArea())) > 1e-9 {
+		t.Error("modified area != baseline + movement")
+	}
+	for _, name := range []string{"hmove-cfg-muxes", "vmove-barrel-shifters", "wraparound-muxes"} {
+		if c, ok := mv.Find(name); !ok || c.Cells == 0 {
+			t.Errorf("movement hardware missing %q", name)
+		}
+	}
+}
+
+// TestTableIIShape pins the paper's Table II claims: the BE design's
+// baseline lands in the published magnitude and the movement overhead
+// stays below 10% in both cells and area.
+func TestTableIIShape(t *testing.T) {
+	m := NewModel()
+	o := m.Overhead(beGeom())
+	if o.BaselineCells < 50_000 || o.BaselineCells > 120_000 {
+		t.Errorf("BE baseline cells = %d, want the paper's magnitude (~79,540)", o.BaselineCells)
+	}
+	if o.BaselineArea < 15_000 || o.BaselineArea > 45_000 {
+		t.Errorf("BE baseline area = %.0f um2, want the paper's magnitude (~28,995)", o.BaselineArea)
+	}
+	if inc := o.CellsIncrease(); inc <= 0 || inc >= 0.10 {
+		t.Errorf("cell increase = %.2f%%, must be positive and below 10%%", 100*inc)
+	}
+	if inc := o.AreaIncrease(); inc <= 0 || inc >= 0.10 {
+		t.Errorf("area increase = %.2f%%, must be positive and below 10%%", 100*inc)
+	}
+	if o.String() == "" {
+		t.Error("empty Table II rendering")
+	}
+}
+
+// The overhead must stay below 10% across the whole design space, not just
+// the BE scenario.
+func TestOverheadBelowTenPercentEverywhere(t *testing.T) {
+	m := NewModel()
+	for _, rows := range []int{2, 4, 8} {
+		for _, cols := range []int{8, 16, 24, 32} {
+			g := fabric.NewGeometry(rows, cols)
+			o := m.Overhead(g)
+			if inc := o.AreaIncrease(); inc >= 0.10 {
+				t.Errorf("%v: area increase %.2f%% >= 10%%", g, 100*inc)
+			}
+		}
+	}
+}
+
+// TestCriticalPathUnchanged pins the paper's 120 ps claim: the movement
+// hardware must not slow the data path, and the BE column must land near
+// 120 ps.
+func TestCriticalPathUnchanged(t *testing.T) {
+	m := NewModel()
+	g := beGeom()
+	base := m.ColumnCriticalPathPs(g, false)
+	mod := m.ColumnCriticalPathPs(g, true)
+	if base != mod {
+		t.Errorf("movement hardware changed the critical path: %v -> %v ps", base, mod)
+	}
+	if base < 100 || base > 140 {
+		t.Errorf("BE column critical path = %v ps, want ~120 ps", base)
+	}
+}
+
+func TestAreaScalesWithFabric(t *testing.T) {
+	m := NewModel()
+	small := m.Baseline(fabric.NewGeometry(2, 8)).TotalArea()
+	big := m.Baseline(fabric.NewGeometry(8, 32)).TotalArea()
+	if big <= small*7 {
+		t.Errorf("8x32 fabric (%.0f) should be much larger than 2x8 (%.0f)", big, small)
+	}
+}
+
+func TestMovementOverheadGrowsSublinearly(t *testing.T) {
+	// The relative overhead should not explode with fabric size: it is
+	// dominated by per-column structures, like the baseline.
+	m := NewModel()
+	be := m.Overhead(fabric.NewGeometry(2, 16)).AreaIncrease()
+	bu := m.Overhead(fabric.NewGeometry(8, 32)).AreaIncrease()
+	if bu > 2*be {
+		t.Errorf("overhead grew from %.2f%% to %.2f%%: should stay flat-ish", 100*be, 100*bu)
+	}
+}
+
+func TestConfigCacheArea(t *testing.T) {
+	m := NewModel()
+	g := beGeom()
+	a128 := m.ConfigCacheAreaUm2(g, 128)
+	a256 := m.ConfigCacheAreaUm2(g, 256)
+	if a128 <= 0 {
+		t.Fatal("cache area must be positive")
+	}
+	if math.Abs(a256-2*a128) > 1e-9 {
+		t.Error("cache area must scale linearly with entries")
+	}
+}
+
+func TestMuxTreeCells(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 3, 8: 7}
+	for n, want := range cases {
+		if got := muxTreeCells(n); got != want {
+			t.Errorf("muxTreeCells(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package cfgcache implements TransRec's configuration cache: translated
+// CGRA configurations indexed by the PC of their first instruction (Fig. 2,
+// step 3/4 of the paper), with bounded capacity and LRU or FIFO
+// replacement.
+package cfgcache
+
+import (
+	"fmt"
+
+	"agingcgra/internal/fabric"
+)
+
+// Policy selects the replacement policy.
+type Policy int
+
+const (
+	// LRU evicts the least recently used configuration.
+	LRU Policy = iota
+	// FIFO evicts the oldest configuration.
+	FIFO
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Insertions uint64
+	Evictions  uint64
+}
+
+// HitRate returns hits / (hits + misses), or 0 when empty.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	cfg        *fabric.Config
+	prev, next *entry
+}
+
+// Cache is a PC-indexed configuration cache. The zero value is not usable;
+// call New.
+type Cache struct {
+	capacity int
+	policy   Policy
+	entries  map[uint32]*entry
+	// head is most recently used / most recently inserted; tail is the
+	// eviction candidate.
+	head, tail *entry
+	stats      Stats
+}
+
+// New builds a cache holding at most capacity configurations.
+func New(capacity int, policy Policy) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[uint32]*entry, capacity),
+	}
+}
+
+// Capacity returns the configured entry limit.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of resident configurations.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats returns the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Lookup finds the configuration starting at pc, updating hit/miss counts
+// and (for LRU) recency.
+func (c *Cache) Lookup(pc uint32) (*fabric.Config, bool) {
+	e, ok := c.entries[pc]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	if c.policy == LRU {
+		c.moveToFront(e)
+	}
+	return e.cfg, true
+}
+
+// Contains reports residency without touching stats or recency.
+func (c *Cache) Contains(pc uint32) bool {
+	_, ok := c.entries[pc]
+	return ok
+}
+
+// Insert stores a configuration, evicting if necessary. Re-inserting an
+// existing StartPC replaces the old configuration.
+func (c *Cache) Insert(cfg *fabric.Config) {
+	if cfg == nil {
+		return
+	}
+	if e, ok := c.entries[cfg.StartPC]; ok {
+		e.cfg = cfg
+		c.moveToFront(e)
+		c.stats.Insertions++
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		c.evict()
+	}
+	e := &entry{cfg: cfg}
+	c.entries[cfg.StartPC] = e
+	c.pushFront(e)
+	c.stats.Insertions++
+}
+
+// Remove drops the configuration starting at pc, if resident.
+func (c *Cache) Remove(pc uint32) {
+	if e, ok := c.entries[pc]; ok {
+		c.unlink(e)
+		delete(c.entries, pc)
+	}
+}
+
+// Clear drops every entry, keeping statistics.
+func (c *Cache) Clear() {
+	c.entries = make(map[uint32]*entry, c.capacity)
+	c.head, c.tail = nil, nil
+}
+
+// Configs returns the resident configurations from most to least recent.
+func (c *Cache) Configs() []*fabric.Config {
+	out := make([]*fabric.Config, 0, len(c.entries))
+	for e := c.head; e != nil; e = e.next {
+		out = append(out, e.cfg)
+	}
+	return out
+}
+
+func (c *Cache) evict() {
+	if c.tail == nil {
+		return
+	}
+	victim := c.tail
+	c.unlink(victim)
+	delete(c.entries, victim.cfg.StartPC)
+	c.stats.Evictions++
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,165 @@
+package cfgcache
+
+import (
+	"testing"
+
+	"agingcgra/internal/fabric"
+)
+
+func cfg(pc uint32) *fabric.Config {
+	return &fabric.Config{StartPC: pc, Geom: fabric.NewGeometry(2, 8)}
+}
+
+func TestLookupMissAndHit(t *testing.T) {
+	c := New(4, LRU)
+	if _, ok := c.Lookup(0x1000); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(cfg(0x1000))
+	got, ok := c.Lookup(0x1000)
+	if !ok || got.StartPC != 0x1000 {
+		t.Fatal("miss after insert")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Insertions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", st.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2, LRU)
+	c.Insert(cfg(0x1))
+	c.Insert(cfg(0x2))
+	c.Lookup(0x1) // make 0x1 most recent
+	c.Insert(cfg(0x3))
+	if c.Contains(0x2) {
+		t.Error("0x2 should have been evicted (LRU)")
+	}
+	if !c.Contains(0x1) || !c.Contains(0x3) {
+		t.Error("0x1 and 0x3 should be resident")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	c := New(2, FIFO)
+	c.Insert(cfg(0x1))
+	c.Insert(cfg(0x2))
+	c.Lookup(0x1) // FIFO ignores recency
+	c.Insert(cfg(0x3))
+	if c.Contains(0x1) {
+		t.Error("0x1 should have been evicted (FIFO)")
+	}
+	if !c.Contains(0x2) || !c.Contains(0x3) {
+		t.Error("0x2 and 0x3 should be resident")
+	}
+}
+
+func TestReplaceExisting(t *testing.T) {
+	c := New(2, LRU)
+	c.Insert(cfg(0x1))
+	newer := cfg(0x1)
+	newer.UsedCols = 5
+	c.Insert(newer)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	got, _ := c.Lookup(0x1)
+	if got.UsedCols != 5 {
+		t.Error("replacement did not take effect")
+	}
+	if c.Stats().Evictions != 0 {
+		t.Error("replacement should not evict")
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	c := New(4, LRU)
+	c.Insert(cfg(0x1))
+	c.Insert(cfg(0x2))
+	c.Remove(0x1)
+	if c.Contains(0x1) || c.Len() != 1 {
+		t.Error("Remove failed")
+	}
+	c.Remove(0x999) // no-op
+	c.Clear()
+	if c.Len() != 0 || c.Contains(0x2) {
+		t.Error("Clear failed")
+	}
+	// Cache still usable after Clear.
+	c.Insert(cfg(0x3))
+	if !c.Contains(0x3) {
+		t.Error("insert after Clear failed")
+	}
+}
+
+func TestConfigsOrder(t *testing.T) {
+	c := New(4, LRU)
+	c.Insert(cfg(0x1))
+	c.Insert(cfg(0x2))
+	c.Insert(cfg(0x3))
+	c.Lookup(0x1)
+	got := c.Configs()
+	want := []uint32{0x1, 0x3, 0x2}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i].StartPC != want[i] {
+			t.Errorf("configs[%d] = %#x, want %#x", i, got[i].StartPC, want[i])
+		}
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	c := New(0, LRU)
+	if c.Capacity() != 1 {
+		t.Errorf("capacity = %d, want 1", c.Capacity())
+	}
+	c.Insert(cfg(0x1))
+	c.Insert(cfg(0x2))
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestNilInsert(t *testing.T) {
+	c := New(2, LRU)
+	c.Insert(nil)
+	if c.Len() != 0 {
+		t.Error("nil insert should be ignored")
+	}
+}
+
+func TestManyInsertionsStayBounded(t *testing.T) {
+	c := New(8, LRU)
+	for pc := uint32(0); pc < 1000; pc += 4 {
+		c.Insert(cfg(pc))
+		if c.Len() > 8 {
+			t.Fatalf("cache grew to %d entries", c.Len())
+		}
+	}
+	if c.Len() != 8 {
+		t.Errorf("len = %d, want 8", c.Len())
+	}
+	// The 8 most recent PCs must be resident.
+	for pc := uint32(1000 - 8*4); pc < 1000; pc += 4 {
+		if !c.Contains(pc) {
+			t.Errorf("recent pc %#x missing", pc)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy should format")
+	}
+}

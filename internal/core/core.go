@@ -1,0 +1,176 @@
+// Package core is the home of the paper's primary contribution: the
+// aging-mitigation controller that sits between the configuration cache and
+// the fabric. For every configuration execution it asks the allocation
+// strategy for a pivot offset, applies the (wrap-around) movement, and
+// accounts the NBTI-relevant stress: an FU belonging to the resident
+// configuration is under stress for the whole residency, because the
+// TransRec fabric is combinational and a configured FU is continuously
+// driven while its configuration is loaded.
+package core
+
+import (
+	"fmt"
+
+	"agingcgra/internal/alloc"
+	"agingcgra/internal/fabric"
+)
+
+// Tracker accumulates per-FU stress over a run.
+type Tracker struct {
+	geom fabric.Geometry
+	// stressCycles[r*Cols+c] is how many cycles cell (r,c) spent configured.
+	stressCycles []uint64
+	// presentExecs[r*Cols+c] counts executions whose configuration included
+	// the cell.
+	presentExecs []uint64
+	activeCycles uint64
+	totalExecs   uint64
+}
+
+// NewTracker builds a zeroed tracker for the geometry.
+func NewTracker(g fabric.Geometry) *Tracker {
+	return &Tracker{
+		geom:         g,
+		stressCycles: make([]uint64, g.NumFUs()),
+		presentExecs: make([]uint64, g.NumFUs()),
+	}
+}
+
+// Geometry returns the tracked fabric geometry.
+func (t *Tracker) Geometry() fabric.Geometry { return t.geom }
+
+// Record accounts one configuration execution: cells (virtual coordinates)
+// ran at pivot off for the given residency cycles.
+func (t *Tracker) Record(cells []fabric.Cell, off fabric.Offset, cycles uint64) {
+	for _, c := range cells {
+		p := off.Apply(c, t.geom)
+		i := p.Row*t.geom.Cols + p.Col
+		t.stressCycles[i] += cycles
+		t.presentExecs[i]++
+	}
+	t.activeCycles += cycles
+	t.totalExecs++
+}
+
+// ActiveCycles returns the total CGRA residency time.
+func (t *Tracker) ActiveCycles() uint64 { return t.activeCycles }
+
+// TotalExecs returns the number of recorded executions.
+func (t *Tracker) TotalExecs() uint64 { return t.totalExecs }
+
+// StressCycles returns the accumulated stress of cell (r, c).
+func (t *Tracker) StressCycles(r, c int) uint64 {
+	return t.stressCycles[r*t.geom.Cols+c]
+}
+
+// Utilization snapshots the per-FU duty cycles.
+func (t *Tracker) Utilization() *UtilizationMap {
+	u := &UtilizationMap{
+		Geom:     t.geom,
+		Duty:     make([]float64, t.geom.NumFUs()),
+		Presence: make([]float64, t.geom.NumFUs()),
+	}
+	for i := range u.Duty {
+		if t.activeCycles > 0 {
+			u.Duty[i] = float64(t.stressCycles[i]) / float64(t.activeCycles)
+		}
+		if t.totalExecs > 0 {
+			u.Presence[i] = float64(t.presentExecs[i]) / float64(t.totalExecs)
+		}
+	}
+	return u
+}
+
+// UtilizationMap is a snapshot of per-FU utilization under two metrics.
+type UtilizationMap struct {
+	Geom fabric.Geometry
+	// Duty is the NBTI-relevant metric: stress time / CGRA-active time.
+	Duty []float64
+	// Presence is the fraction of configuration executions that included
+	// the FU (the "used by X% of the configurations" phrasing of Fig. 1).
+	Presence []float64
+}
+
+// At returns the duty cycle of cell (r, c).
+func (u *UtilizationMap) At(r, c int) float64 { return u.Duty[r*u.Geom.Cols+c] }
+
+// PresenceAt returns the presence rate of cell (r, c).
+func (u *UtilizationMap) PresenceAt(r, c int) float64 { return u.Presence[r*u.Geom.Cols+c] }
+
+// Max returns the highest duty cycle and its cell: the FU that determines
+// end-of-life.
+func (u *UtilizationMap) Max() (float64, fabric.Cell) {
+	best, cell := 0.0, fabric.Cell{}
+	for r := 0; r < u.Geom.Rows; r++ {
+		for c := 0; c < u.Geom.Cols; c++ {
+			if d := u.At(r, c); d > best {
+				best, cell = d, fabric.Cell{Row: r, Col: c}
+			}
+		}
+	}
+	return best, cell
+}
+
+// Avg returns the mean duty cycle over all FUs.
+func (u *UtilizationMap) Avg() float64 {
+	var sum float64
+	for _, d := range u.Duty {
+		sum += d
+	}
+	return sum / float64(len(u.Duty))
+}
+
+// Min returns the lowest duty cycle.
+func (u *UtilizationMap) Min() float64 {
+	best := 1.0
+	for _, d := range u.Duty {
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Controller is the aging-mitigation controller: allocator + tracker.
+type Controller struct {
+	geom    fabric.Geometry
+	alloc   alloc.Allocator
+	tracker *Tracker
+}
+
+// NewController builds a controller for geometry g using allocator a.
+func NewController(g fabric.Geometry, a alloc.Allocator) (*Controller, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if a == nil {
+		return nil, fmt.Errorf("core: nil allocator")
+	}
+	return &Controller{geom: g, alloc: a, tracker: NewTracker(g)}, nil
+}
+
+// Allocator returns the strategy in use.
+func (c *Controller) Allocator() alloc.Allocator { return c.alloc }
+
+// Tracker exposes the stress tracker.
+func (c *Controller) Tracker() *Tracker { return c.tracker }
+
+// Place asks the allocation strategy for the pivot of the upcoming
+// execution of cfg. The caller must follow up with Commit once the
+// residency duration is known (it depends on early exits).
+func (c *Controller) Place(cfg *fabric.Config) fabric.Offset {
+	return c.alloc.Next(cfg)
+}
+
+// Commit records the stress of a completed execution and feeds back to
+// stress-adaptive allocators.
+func (c *Controller) Commit(cfg *fabric.Config, off fabric.Offset, cycles uint64) {
+	cells := cfg.Cells()
+	c.tracker.Record(cells, off, cycles)
+	if so, ok := c.alloc.(alloc.StressObserver); ok {
+		so.ObserveStress(cells, off, cycles)
+	}
+}
+
+// Utilization snapshots the utilization map.
+func (c *Controller) Utilization() *UtilizationMap { return c.tracker.Utilization() }

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"agingcgra/internal/alloc"
+	"agingcgra/internal/fabric"
+)
+
+func smallConfig(g fabric.Geometry) *fabric.Config {
+	return &fabric.Config{
+		StartPC: 0x1000,
+		Geom:    g,
+		Ops: []fabric.PlacedOp{
+			{Seq: 0, Row: 0, Col: 0, Width: 1},
+			{Seq: 1, Row: 0, Col: 1, Width: 1},
+		},
+		UsedCols: 2,
+	}
+}
+
+func TestTrackerRecord(t *testing.T) {
+	g := fabric.NewGeometry(2, 4)
+	tr := NewTracker(g)
+	cells := []fabric.Cell{{Row: 0, Col: 0}, {Row: 0, Col: 1}}
+	tr.Record(cells, fabric.Offset{}, 10)
+	tr.Record(cells, fabric.Offset{Row: 1, Col: 2}, 5)
+	if tr.ActiveCycles() != 15 || tr.TotalExecs() != 2 {
+		t.Fatalf("active=%d execs=%d", tr.ActiveCycles(), tr.TotalExecs())
+	}
+	if tr.StressCycles(0, 0) != 10 || tr.StressCycles(0, 1) != 10 {
+		t.Error("first execution stress wrong")
+	}
+	if tr.StressCycles(1, 2) != 5 || tr.StressCycles(1, 3) != 5 {
+		t.Error("offset execution stress wrong")
+	}
+	if tr.StressCycles(1, 0) != 0 {
+		t.Error("untouched cell has stress")
+	}
+}
+
+func TestUtilizationMapMetrics(t *testing.T) {
+	g := fabric.NewGeometry(2, 4)
+	tr := NewTracker(g)
+	cells := []fabric.Cell{{Row: 0, Col: 0}}
+	tr.Record(cells, fabric.Offset{}, 30)
+	tr.Record(cells, fabric.Offset{}, 30)
+	tr.Record(cells, fabric.Offset{Row: 1, Col: 1}, 40)
+	u := tr.Utilization()
+	if got := u.At(0, 0); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("duty(0,0) = %v, want 0.6", got)
+	}
+	if got := u.At(1, 1); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("duty(1,1) = %v, want 0.4", got)
+	}
+	maxD, cell := u.Max()
+	if maxD != 0.6 || cell != (fabric.Cell{Row: 0, Col: 0}) {
+		t.Errorf("Max = %v at %v", maxD, cell)
+	}
+	wantAvg := (0.6 + 0.4) / 8
+	if got := u.Avg(); math.Abs(got-wantAvg) > 1e-12 {
+		t.Errorf("Avg = %v, want %v", got, wantAvg)
+	}
+	if u.Min() != 0 {
+		t.Errorf("Min = %v, want 0", u.Min())
+	}
+	// Presence metric: (0,0) present in 2 of 3 executions.
+	if got := u.PresenceAt(0, 0); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("presence(0,0) = %v", got)
+	}
+}
+
+func TestControllerBaselineConcentratesStress(t *testing.T) {
+	g := fabric.NewGeometry(2, 4)
+	ctrl, err := NewController(g, alloc.Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(g)
+	for i := 0; i < 8; i++ {
+		off := ctrl.Place(cfg)
+		ctrl.Commit(cfg, off, 10)
+	}
+	u := ctrl.Utilization()
+	if u.At(0, 0) != 1.0 || u.At(0, 1) != 1.0 {
+		t.Error("baseline should keep the config's home cells at 100% duty")
+	}
+	if u.At(1, 0) != 0 {
+		t.Error("baseline should never touch other rows")
+	}
+}
+
+func TestControllerRotationBalancesStress(t *testing.T) {
+	g := fabric.NewGeometry(2, 4)
+	ctrl, err := NewController(g, alloc.NewUtilizationAware(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(g)
+	// One full epoch: 8 pivot positions.
+	for i := 0; i < g.NumFUs(); i++ {
+		off := ctrl.Place(cfg)
+		ctrl.Commit(cfg, off, 10)
+	}
+	u := ctrl.Utilization()
+	// The 2-cell config visited every pivot once: every cell must have been
+	// stressed exactly twice out of 8 executions -> duty 0.25 everywhere.
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if got := u.At(r, c); math.Abs(got-0.25) > 1e-12 {
+				t.Errorf("duty(%d,%d) = %v, want 0.25", r, c, got)
+			}
+		}
+	}
+}
+
+func TestControllerFeedsStressObserver(t *testing.T) {
+	g := fabric.NewGeometry(2, 4)
+	h := alloc.NewHealthAware(g, 1)
+	ctrl, err := NewController(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(g)
+	offs := make(map[fabric.Offset]bool)
+	for i := 0; i < 8; i++ {
+		off := ctrl.Place(cfg)
+		offs[off] = true
+		ctrl.Commit(cfg, off, 10)
+	}
+	if len(offs) < 3 {
+		t.Errorf("health-aware allocator never moved (visited %d offsets); stress feedback broken", len(offs))
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(fabric.Geometry{}, alloc.Baseline{}); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+	if _, err := NewController(fabric.NewGeometry(2, 4), nil); err == nil {
+		t.Error("nil allocator accepted")
+	}
+}
+
+// Property: rotation preserves total stress (it only redistributes).
+func TestRotationPreservesTotalStress(t *testing.T) {
+	g := fabric.NewGeometry(4, 8)
+	base, _ := NewController(g, alloc.Baseline{})
+	rot, _ := NewController(g, alloc.NewUtilizationAware(g))
+	cfg := smallConfig(g)
+	for i := 0; i < 100; i++ {
+		ob := base.Place(cfg)
+		base.Commit(cfg, ob, 7)
+		or := rot.Place(cfg)
+		rot.Commit(cfg, or, 7)
+	}
+	sum := func(tr *Tracker) (s uint64) {
+		for r := 0; r < g.Rows; r++ {
+			for c := 0; c < g.Cols; c++ {
+				s += tr.StressCycles(r, c)
+			}
+		}
+		return s
+	}
+	if sum(base.Tracker()) != sum(rot.Tracker()) {
+		t.Errorf("total stress differs: baseline %d, rotated %d",
+			sum(base.Tracker()), sum(rot.Tracker()))
+	}
+	// And the rotated max must be strictly lower.
+	bMax, _ := base.Utilization().Max()
+	rMax, _ := rot.Utilization().Max()
+	if rMax >= bMax {
+		t.Errorf("rotation did not reduce max duty: baseline %v, rotated %v", bMax, rMax)
+	}
+}

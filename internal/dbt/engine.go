@@ -1,0 +1,388 @@
+// Package dbt implements the TransRec execution engine (Fig. 2 of the
+// paper): a GPP core running the application, a dynamic binary translation
+// module that captures retired instruction sequences and maps them onto the
+// CGRA, a PC-indexed configuration cache, and the reconfigurable unit
+// itself with the aging-mitigation controller deciding where each
+// configuration lands.
+//
+// Functional execution always happens on the gpp.Core interpreter; the
+// engine attributes cycles and NBTI stress to the GPP or the CGRA according
+// to where each dynamic instruction logically executed. This trace-driven
+// split keeps architectural state trivially correct while modelling the
+// performance and aging behaviour the paper measures.
+package dbt
+
+import (
+	"fmt"
+
+	"agingcgra/internal/alloc"
+	"agingcgra/internal/cfgcache"
+	"agingcgra/internal/core"
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/gpp"
+	"agingcgra/internal/isa"
+	"agingcgra/internal/mapper"
+)
+
+// Options configures an engine instance.
+type Options struct {
+	// Geom is the CGRA fabric geometry.
+	Geom fabric.Geometry
+	// Lat is the per-class column latency table; zero value selects
+	// fabric.DefaultLatencies.
+	Lat fabric.LatencyTable
+	// Timing is the GPP cycle model; zero value selects gpp.DefaultTiming.
+	Timing gpp.Timing
+	// Allocator decides configuration placement; nil selects the baseline.
+	Allocator alloc.Allocator
+	// CacheCapacity is the configuration cache size in entries
+	// (default 128).
+	CacheCapacity int
+	// CachePolicy is the replacement policy (default LRU).
+	CachePolicy cfgcache.Policy
+	// MinOps is the smallest profitable configuration (default 4).
+	MinOps int
+	// MaxTraceLen caps captured trace length (default 32): the DBT's
+	// translation window, a property of the hardware translator (its
+	// reorder-buffer depth), independent of the fabric size. Traces also
+	// terminate at backward-taken branches (superblock formation), so loop
+	// bodies become whole configurations re-executed per iteration.
+	MaxTraceLen int
+	// OffloadOverhead is the per-offload cycle cost of moving the input
+	// context in and results out (default 2; the unit is tightly coupled
+	// to the GPP register file). Configuration broadcast overlaps with it;
+	// only the excess reconfiguration time is charged.
+	OffloadOverhead uint64
+	// NoProfitGate disables the DBT's profitability filter. By default a
+	// translated configuration is only cached when its projected CGRA time
+	// beats its projected GPP time.
+	NoProfitGate bool
+	// ExposeReconfig disables the wavefront overlap of configuration
+	// broadcast and execution: an ablation that charges the excess of
+	// ReconfigCycles over the offload overhead whenever the resident
+	// configuration (or its offset) changes. The default design streams
+	// configuration columns ahead of the execution wave (CfgLines >
+	// ColumnsPerCycle), hiding the reload entirely.
+	ExposeReconfig bool
+	// Controller, when non-nil, is shared with the engine instead of
+	// creating a fresh one. Sharing lets a suite of applications accumulate
+	// stress on one fabric, as a deployed chip would; the Allocator option
+	// is ignored in that case.
+	Controller *core.Controller
+	// DisabledCells marks failed FUs the DBT must map around (the
+	// graceful-degradation extension). Existing cached configurations are
+	// not retrofitted; pair with a fresh engine to model a post-failure
+	// restart.
+	DisabledCells []fabric.Cell
+}
+
+func (o *Options) applyDefaults() {
+	if o.Lat == (fabric.LatencyTable{}) {
+		o.Lat = fabric.DefaultLatencies()
+	}
+	if o.Timing == (gpp.Timing{}) {
+		o.Timing = gpp.DefaultTiming()
+	}
+	if o.Allocator == nil {
+		o.Allocator = alloc.Baseline{}
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 128
+	}
+	if o.MinOps == 0 {
+		o.MinOps = 4
+	}
+	if o.MaxTraceLen == 0 {
+		o.MaxTraceLen = 32
+	}
+	if o.OffloadOverhead == 0 {
+		o.OffloadOverhead = 2
+	}
+}
+
+// ClassCounts indexes dynamic instruction counts by isa.Class.
+type ClassCounts [8]uint64
+
+// Total sums all classes.
+func (c ClassCounts) Total() uint64 {
+	var t uint64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates other into c.
+func (c *ClassCounts) Add(other ClassCounts) {
+	for i := range c {
+		c[i] += other[i]
+	}
+}
+
+// Report aggregates everything a run produced; the energy and aging models
+// consume it.
+type Report struct {
+	// Geom and AllocatorName identify the configuration.
+	Geom          fabric.Geometry
+	AllocatorName string
+
+	// Cycle accounting. TotalCycles = GPPCycles + CGRACycles;
+	// CGRACycles includes OverheadCycles and ReconfigCycles.
+	TotalCycles    uint64
+	GPPCycles      uint64
+	CGRACycles     uint64
+	OverheadCycles uint64
+	ReconfigCycles uint64
+
+	// Instruction accounting.
+	TotalInstrs uint64
+	GPPInstrs   uint64
+	CGRAInstrs  uint64
+	GPPClasses  ClassCounts
+	CGRAClasses ClassCounts
+
+	// Offload behaviour.
+	Offloads       uint64
+	EarlyExits     uint64
+	Translations   uint64
+	ReconfigEvents uint64
+	Cache          cfgcache.Stats
+
+	// StressSum is the total FU-cycle product of this run: for every
+	// offload, the number of configured cells times the residency cycles.
+	// The energy model charges active FU power against it.
+	StressSum uint64
+
+	// Util is the per-FU utilization snapshot.
+	Util *core.UtilizationMap
+}
+
+// OffloadRate is the fraction of dynamic instructions executed on the CGRA.
+func (r *Report) OffloadRate() float64 {
+	if r.TotalInstrs == 0 {
+		return 0
+	}
+	return float64(r.CGRAInstrs) / float64(r.TotalInstrs)
+}
+
+// Engine co-simulates one workload on the TransRec system.
+type Engine struct {
+	opts     Options
+	cache    *cfgcache.Cache
+	ctrl     *core.Controller
+	disabled func(fabric.Cell) bool
+
+	// Trace capture state.
+	trace []mapper.TraceEntry
+
+	// Resident configuration identity for reconfiguration accounting.
+	residentPC  uint32
+	residentOff fabric.Offset
+	hasResident bool
+
+	rep Report
+}
+
+// NewEngine validates options and builds an engine.
+func NewEngine(opts Options) (*Engine, error) {
+	opts.applyDefaults()
+	if err := opts.Geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Lat.Validate(); err != nil {
+		return nil, err
+	}
+	ctrl := opts.Controller
+	if ctrl == nil {
+		var err error
+		ctrl, err = core.NewController(opts.Geom, opts.Allocator)
+		if err != nil {
+			return nil, err
+		}
+	} else if ctrl.Tracker().Geometry() != opts.Geom {
+		return nil, fmt.Errorf("dbt: shared controller geometry %v does not match engine geometry %v",
+			ctrl.Tracker().Geometry(), opts.Geom)
+	}
+	e := &Engine{
+		opts:  opts,
+		cache: cfgcache.New(opts.CacheCapacity, opts.CachePolicy),
+		ctrl:  ctrl,
+	}
+	if len(opts.DisabledCells) > 0 {
+		dead := make(map[fabric.Cell]bool, len(opts.DisabledCells))
+		for _, c := range opts.DisabledCells {
+			dead[c] = true
+		}
+		e.disabled = func(c fabric.Cell) bool { return dead[c] }
+	}
+	return e, nil
+}
+
+// Controller exposes the aging-mitigation controller.
+func (e *Engine) Controller() *core.Controller { return e.ctrl }
+
+// Cache exposes the configuration cache.
+func (e *Engine) Cache() *cfgcache.Cache { return e.cache }
+
+// Run executes the core to completion (or the instruction limit) on the
+// TransRec system and returns the report.
+func (e *Engine) Run(c *gpp.Core, limit uint64) (*Report, error) {
+	for !c.Halted() {
+		if c.RetiredCount() >= limit {
+			return nil, fmt.Errorf("dbt: instruction limit %d reached at pc %#x", limit, c.PC)
+		}
+		if cfg, ok := e.cache.Lookup(c.PC); ok {
+			// Step 5-7 of Fig. 2: offload to the CGRA.
+			e.finalizeTrace()
+			if err := e.offload(c, cfg); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Steps 1-3: execute on the GPP while the DBT captures the trace.
+		r, err := c.Step()
+		if err != nil {
+			return nil, err
+		}
+		e.rep.GPPCycles += e.opts.Timing.CyclesFor(r.Inst, r.Taken)
+		e.rep.GPPInstrs++
+		e.rep.GPPClasses[r.Inst.Op.Class()]++
+		e.observe(r)
+	}
+	e.finalizeTrace()
+	e.rep.Geom = e.opts.Geom
+	e.rep.AllocatorName = e.ctrl.Allocator().Name()
+	e.rep.TotalCycles = e.rep.GPPCycles + e.rep.CGRACycles
+	e.rep.TotalInstrs = e.rep.GPPInstrs + e.rep.CGRAInstrs
+	e.rep.Cache = e.cache.Stats()
+	e.rep.Util = e.ctrl.Utilization()
+	rep := e.rep
+	return &rep, nil
+}
+
+// offload replays one configuration on the CGRA: the functional core steps
+// through the recorded sequence, exiting early if a branch diverges from
+// the captured direction.
+func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
+	off := e.ctrl.Place(cfg)
+
+	exitSeq := cfg.Ops[0].Seq
+	early := false
+	for _, op := range cfg.Ops {
+		if c.PC != op.PC {
+			// A previous op redirected control unexpectedly; defensive.
+			early = true
+			break
+		}
+		r, err := c.Step()
+		if err != nil {
+			return err
+		}
+		e.rep.CGRAInstrs++
+		e.rep.CGRAClasses[op.Inst.Op.Class()]++
+		exitSeq = op.Seq
+		if op.Inst.IsBranch() && r.Taken != op.Taken {
+			early = true
+			break
+		}
+	}
+
+	execCycles := cfg.ExecCyclesTo(exitSeq)
+	overhead := e.opts.OffloadOverhead
+	var reconfig uint64
+	if !e.hasResident || e.residentPC != cfg.StartPC || e.residentOff != off {
+		// Configuration broadcast (Fig. 5a) proceeds as a wavefront ahead
+		// of execution and costs no extra cycles; the ExposeReconfig
+		// ablation charges the excess over the offload overhead instead.
+		if e.opts.ExposeReconfig {
+			if rc := e.opts.Geom.ReconfigCycles(); rc > overhead {
+				reconfig = rc - overhead
+			}
+		}
+		e.residentPC, e.residentOff, e.hasResident = cfg.StartPC, off, true
+		e.rep.ReconfigEvents++
+	}
+	duration := overhead + reconfig + execCycles
+	e.ctrl.Commit(cfg, off, duration)
+
+	e.rep.StressSum += uint64(len(cfg.Cells())) * duration
+	e.rep.CGRACycles += duration
+	e.rep.OverheadCycles += overhead
+	e.rep.ReconfigCycles += reconfig
+	e.rep.Offloads++
+	if early {
+		e.rep.EarlyExits++
+	}
+	return nil
+}
+
+// observe feeds one retired instruction to the DBT's trace builder. Traces
+// end at indirect jumps, system calls, backward-taken control transfers
+// (superblock formation: a loop body becomes one configuration), window
+// exhaustion, or when the next PC is already translated.
+func (e *Engine) observe(r gpp.Retire) {
+	e.trace = append(e.trace, mapper.TraceEntry{PC: r.PC, Inst: r.Inst, Taken: r.Taken})
+	backEdge := r.Taken && r.Inst.IsControl() && r.Inst.Imm < 0
+	terminator := r.Inst.Op == isa.JALR ||
+		r.Inst.Op == isa.ECALL ||
+		backEdge ||
+		len(e.trace) >= e.opts.MaxTraceLen ||
+		e.cache.Contains(r.NextPC)
+	if terminator {
+		e.finalizeTrace()
+	}
+}
+
+// finalizeTrace maps the captured trace and inserts the configuration if it
+// is big enough and projected profitable.
+func (e *Engine) finalizeTrace() {
+	if len(e.trace) < e.opts.MinOps {
+		e.trace = e.trace[:0]
+		return
+	}
+	cfg, consumed := mapper.Map(e.trace, mapper.Options{
+		Geom:     e.opts.Geom,
+		Lat:      e.opts.Lat,
+		Disabled: e.disabled,
+	})
+	e.trace = e.trace[:0]
+	if cfg == nil || consumed < e.opts.MinOps {
+		return
+	}
+	if !e.opts.NoProfitGate && !e.profitable(cfg) {
+		return
+	}
+	e.cache.Insert(cfg)
+	e.rep.Translations++
+}
+
+// profitable projects whether executing cfg on the CGRA beats the GPP.
+func (e *Engine) profitable(cfg *fabric.Config) bool {
+	var gppCycles uint64
+	for _, op := range cfg.Ops {
+		gppCycles += e.opts.Timing.CyclesFor(op.Inst, op.Taken)
+	}
+	cgraCycles := e.opts.OffloadOverhead + cfg.ExecCycles()
+	return cgraCycles < gppCycles
+}
+
+// RunGPPOnly measures the stand-alone GPP: the red reference square of
+// Fig. 6. It runs the core to completion under the same timing model with
+// no acceleration.
+func RunGPPOnly(c *gpp.Core, timing gpp.Timing, limit uint64) (cycles uint64, classes ClassCounts, err error) {
+	if timing == (gpp.Timing{}) {
+		timing = gpp.DefaultTiming()
+	}
+	for !c.Halted() {
+		if c.RetiredCount() >= limit {
+			return cycles, classes, fmt.Errorf("dbt: instruction limit %d reached", limit)
+		}
+		r, err := c.Step()
+		if err != nil {
+			return cycles, classes, err
+		}
+		cycles += timing.CyclesFor(r.Inst, r.Taken)
+		classes[r.Inst.Op.Class()]++
+	}
+	return cycles, classes, nil
+}

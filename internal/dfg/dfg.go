@@ -1,0 +1,230 @@
+// Package dfg builds dataflow graphs over dynamic instruction sequences
+// and derives the schedule-independent properties the mapper and the
+// analysis tooling reason about: register and memory dependences, ASAP
+// levels, critical paths (unit and latency-weighted) and ILP. It is the
+// analytical counterpart of internal/mapper: where the mapper commits to
+// one greedy placement, the graph bounds what any placement could do.
+package dfg
+
+import (
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/isa"
+)
+
+// DepKind classifies a dependence edge.
+type DepKind uint8
+
+const (
+	// DepData is a register read-after-write dependence.
+	DepData DepKind = iota
+	// DepMemory orders memory operations around stores.
+	DepMemory
+	// DepControl orders non-speculable operations (stores) after branches.
+	DepControl
+)
+
+// Edge is one dependence from a producer node to a consumer node.
+type Edge struct {
+	From, To int
+	Kind     DepKind
+}
+
+// Node is one instruction in the graph.
+type Node struct {
+	Index int
+	Inst  isa.Inst
+	// Preds and Succs hold edge endpoints by node index.
+	Preds []int
+	Succs []int
+	// Depth is the ASAP level: 0 for nodes with no predecessors.
+	Depth int
+}
+
+// Graph is a dependence DAG over an instruction sequence.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+
+	liveIns  []isa.Reg
+	liveOuts []isa.Reg
+}
+
+// Build constructs the dependence graph of a straight-line instruction
+// sequence under the same ordering rules the mapper enforces: register
+// RAW dependences, loads and stores ordered around stores (no
+// disambiguation), and stores ordered after branches (no speculative
+// memory writes). WAR/WAW register hazards are not edges: the fabric
+// renames through distinct FUs and context lines.
+func Build(insts []isa.Inst) *Graph {
+	g := &Graph{Nodes: make([]Node, len(insts))}
+	for i, in := range insts {
+		g.Nodes[i] = Node{Index: i, Inst: in}
+	}
+
+	lastWriter := map[isa.Reg]int{}
+	liveInSet := map[isa.Reg]bool{}
+	written := map[isa.Reg]bool{}
+	lastStore := -1
+	var loadsSinceStore []int
+	lastBranch := -1
+
+	addEdge := func(from, to int, kind DepKind) {
+		if from < 0 || from == to {
+			return
+		}
+		g.Edges = append(g.Edges, Edge{From: from, To: to, Kind: kind})
+		g.Nodes[to].Preds = append(g.Nodes[to].Preds, from)
+		g.Nodes[from].Succs = append(g.Nodes[from].Succs, to)
+	}
+
+	for i, in := range insts {
+		readReg := func(r isa.Reg) {
+			if r == isa.X0 {
+				return
+			}
+			if w, ok := lastWriter[r]; ok {
+				addEdge(w, i, DepData)
+			} else if !written[r] && !liveInSet[r] {
+				liveInSet[r] = true
+				g.liveIns = append(g.liveIns, r)
+			}
+		}
+		if in.ReadsRs1() {
+			readReg(in.Rs1)
+		}
+		if in.ReadsRs2() {
+			readReg(in.Rs2)
+		}
+		switch {
+		case in.IsLoad():
+			addEdge(lastStore, i, DepMemory)
+			loadsSinceStore = append(loadsSinceStore, i)
+		case in.IsStore():
+			addEdge(lastStore, i, DepMemory)
+			for _, l := range loadsSinceStore {
+				addEdge(l, i, DepMemory)
+			}
+			addEdge(lastBranch, i, DepControl)
+			lastStore = i
+			loadsSinceStore = nil
+		case in.IsBranch():
+			lastBranch = i
+		}
+		if in.WritesRd() {
+			lastWriter[in.Rd] = i
+			written[in.Rd] = true
+		}
+	}
+
+	// Live-outs: registers whose final writer has no later overwrite.
+	for r, w := range lastWriter {
+		_ = w
+		g.liveOuts = append(g.liveOuts, r)
+	}
+	sortRegs(g.liveIns)
+	sortRegs(g.liveOuts)
+
+	g.computeDepths()
+	return g
+}
+
+func sortRegs(rs []isa.Reg) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j-1] > rs[j]; j-- {
+			rs[j-1], rs[j] = rs[j], rs[j-1]
+		}
+	}
+}
+
+// computeDepths assigns ASAP levels; nodes appear in topological (program)
+// order by construction, so one forward pass suffices.
+func (g *Graph) computeDepths() {
+	for i := range g.Nodes {
+		d := 0
+		for _, p := range g.Nodes[i].Preds {
+			if g.Nodes[p].Depth+1 > d {
+				d = g.Nodes[p].Depth + 1
+			}
+		}
+		g.Nodes[i].Depth = d
+	}
+}
+
+// LiveIns returns the registers read before being written, in ascending
+// order: the values the input context must supply.
+func (g *Graph) LiveIns() []isa.Reg { return g.liveIns }
+
+// LiveOuts returns the registers written by the sequence, in ascending
+// order: the values written back to the GPP at commit.
+func (g *Graph) LiveOuts() []isa.Reg { return g.liveOuts }
+
+// CriticalPathLen returns the longest dependence chain in instructions
+// (unit latency). An empty graph returns 0.
+func (g *Graph) CriticalPathLen() int {
+	max := 0
+	for _, n := range g.Nodes {
+		if n.Depth+1 > max {
+			max = n.Depth + 1
+		}
+	}
+	return max
+}
+
+// CriticalPathColumns returns the longest dependence chain weighted by the
+// fabric latency table, in columns: a lower bound on any placement's
+// UsedCols.
+func (g *Graph) CriticalPathColumns(lat fabric.LatencyTable) int {
+	if len(g.Nodes) == 0 {
+		return 0
+	}
+	end := make([]int, len(g.Nodes))
+	max := 0
+	for i := range g.Nodes {
+		start := 0
+		for _, p := range g.Nodes[i].Preds {
+			if end[p] > start {
+				start = end[p]
+			}
+		}
+		end[i] = start + lat.Columns(g.Nodes[i].Inst.Op.Class())
+		if end[i] > max {
+			max = end[i]
+		}
+	}
+	return max
+}
+
+// MaxWidth returns the maximum number of nodes sharing one ASAP level: the
+// peak ILP an unconstrained fabric could exploit.
+func (g *Graph) MaxWidth() int {
+	counts := map[int]int{}
+	max := 0
+	for _, n := range g.Nodes {
+		counts[n.Depth]++
+		if counts[n.Depth] > max {
+			max = counts[n.Depth]
+		}
+	}
+	return max
+}
+
+// AvgILP returns instructions per dependence level: the average
+// parallelism available in the sequence.
+func (g *Graph) AvgILP() float64 {
+	cp := g.CriticalPathLen()
+	if cp == 0 {
+		return 0
+	}
+	return float64(len(g.Nodes)) / float64(cp)
+}
+
+// EdgeCount returns the number of dependence edges of the given kind.
+func (g *Graph) EdgeCount(kind DepKind) int {
+	n := 0
+	for _, e := range g.Edges {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/isa"
+)
+
+func alu(rd, rs1, rs2 isa.Reg) isa.Inst {
+	return isa.Inst{Op: isa.ADD, Rd: rd, Rs1: rs1, Rs2: rs2}
+}
+
+func TestChainDepths(t *testing.T) {
+	g := Build([]isa.Inst{
+		alu(isa.T0, isa.A0, isa.A1),
+		alu(isa.T1, isa.T0, isa.A1),
+		alu(isa.T2, isa.T1, isa.T0),
+	})
+	wantDepths := []int{0, 1, 2}
+	for i, w := range wantDepths {
+		if g.Nodes[i].Depth != w {
+			t.Errorf("node %d depth = %d, want %d", i, g.Nodes[i].Depth, w)
+		}
+	}
+	if g.CriticalPathLen() != 3 {
+		t.Errorf("critical path = %d, want 3", g.CriticalPathLen())
+	}
+	if g.MaxWidth() != 1 {
+		t.Errorf("max width = %d, want 1", g.MaxWidth())
+	}
+}
+
+func TestIndependentOps(t *testing.T) {
+	g := Build([]isa.Inst{
+		alu(isa.T0, isa.A0, isa.A1),
+		alu(isa.T1, isa.A2, isa.A3),
+		alu(isa.T2, isa.A4, isa.A5),
+	})
+	if g.CriticalPathLen() != 1 || g.MaxWidth() != 3 {
+		t.Errorf("cp=%d width=%d, want 1/3", g.CriticalPathLen(), g.MaxWidth())
+	}
+	if g.AvgILP() != 3 {
+		t.Errorf("avg ILP = %v, want 3", g.AvgILP())
+	}
+	if len(g.Edges) != 0 {
+		t.Errorf("independent ops produced %d edges", len(g.Edges))
+	}
+}
+
+func TestLiveInsAndOuts(t *testing.T) {
+	g := Build([]isa.Inst{
+		alu(isa.T0, isa.A0, isa.A1), // reads a0,a1 (live-in), writes t0
+		alu(isa.A0, isa.T0, isa.T0), // overwrites a0
+	})
+	ins := g.LiveIns()
+	if len(ins) != 2 || ins[0] != isa.A0 || ins[1] != isa.A1 {
+		t.Errorf("live-ins = %v, want [a0 a1]", ins)
+	}
+	outs := g.LiveOuts()
+	// Ascending architectural order: t0 is x5, a0 is x10.
+	if len(outs) != 2 || outs[0] != isa.T0 || outs[1] != isa.A0 {
+		t.Errorf("live-outs = %v, want [t0 a0]", outs)
+	}
+}
+
+func TestMemoryOrdering(t *testing.T) {
+	g := Build([]isa.Inst{
+		{Op: isa.LW, Rd: isa.T0, Rs1: isa.A0},  // 0: load
+		{Op: isa.SW, Rs1: isa.A1, Rs2: isa.T1}, // 1: store (after load 0)
+		{Op: isa.LW, Rd: isa.T2, Rs1: isa.A2},  // 2: load (after store 1)
+		{Op: isa.SW, Rs1: isa.A3, Rs2: isa.T3}, // 3: store (after store 1 and load 2)
+	})
+	if got := g.EdgeCount(DepMemory); got != 4 {
+		t.Errorf("memory edges = %d, want 4 (load0->store1, store1->load2, store1->store3, load2->store3)", got)
+	}
+	// Loads do not depend on earlier loads.
+	for _, e := range g.Edges {
+		if e.Kind == DepMemory && g.Nodes[e.From].Inst.IsLoad() && g.Nodes[e.To].Inst.IsLoad() {
+			t.Error("load-load ordering edge found")
+		}
+	}
+}
+
+func TestStoreAfterBranch(t *testing.T) {
+	g := Build([]isa.Inst{
+		{Op: isa.BNE, Rs1: isa.A0, Rs2: isa.A1, Imm: 8},
+		{Op: isa.SW, Rs1: isa.A2, Rs2: isa.A3},
+		alu(isa.T0, isa.A4, isa.A5),
+	})
+	if g.EdgeCount(DepControl) != 1 {
+		t.Errorf("control edges = %d, want 1", g.EdgeCount(DepControl))
+	}
+	// The ALU op is free to execute at depth 0.
+	if g.Nodes[2].Depth != 0 {
+		t.Errorf("speculable ALU depth = %d, want 0", g.Nodes[2].Depth)
+	}
+	if g.Nodes[1].Depth != 1 {
+		t.Errorf("store depth = %d, want 1 (after branch)", g.Nodes[1].Depth)
+	}
+}
+
+func TestX0NeverDependency(t *testing.T) {
+	g := Build([]isa.Inst{
+		alu(isa.X0, isa.A0, isa.A1), // write to x0 discards
+		alu(isa.T0, isa.X0, isa.X0), // reads of x0 are constants
+	})
+	if len(g.Edges) != 0 {
+		t.Errorf("x0 created %d edges", len(g.Edges))
+	}
+	if len(g.LiveIns()) != 2 {
+		t.Errorf("live-ins = %v (x0 must not be a live-in)", g.LiveIns())
+	}
+}
+
+func TestCriticalPathColumns(t *testing.T) {
+	lat := fabric.DefaultLatencies()
+	g := Build([]isa.Inst{
+		{Op: isa.LW, Rd: isa.T0, Rs1: isa.A0},               // 4 columns
+		alu(isa.T1, isa.T0, isa.A1),                         // +1
+		{Op: isa.MUL, Rd: isa.T2, Rs1: isa.T1, Rs2: isa.T1}, // +2
+	})
+	if got := g.CriticalPathColumns(lat); got != 7 {
+		t.Errorf("critical path columns = %d, want 7", got)
+	}
+	if Build(nil).CriticalPathColumns(lat) != 0 {
+		t.Error("empty graph must have zero-length path")
+	}
+}
+
+// Property: the mapper can never beat the DFG critical-path lower bound.
+func TestMapperRespectsLowerBound(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	regs := []isa.Reg{isa.T0, isa.T1, isa.A0, isa.A1, isa.S0}
+	ops := []isa.Op{isa.ADD, isa.XOR, isa.MUL, isa.LW, isa.SW, isa.ADDI}
+	lat := fabric.DefaultLatencies()
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + r.Intn(20)
+		insts := make([]isa.Inst, n)
+		for i := range insts {
+			op := ops[r.Intn(len(ops))]
+			insts[i] = isa.Inst{
+				Op:  op,
+				Rd:  regs[r.Intn(len(regs))],
+				Rs1: regs[r.Intn(len(regs))],
+				Rs2: regs[r.Intn(len(regs))],
+			}
+			if op == isa.ADDI {
+				insts[i].Rs2 = 0
+			}
+		}
+		g := Build(insts)
+		// Depth of every node exceeds all its preds.
+		for _, node := range g.Nodes {
+			for _, p := range node.Preds {
+				if g.Nodes[p].Depth >= node.Depth {
+					t.Fatalf("iter %d: depth not increasing along edge %d->%d", iter, p, node.Index)
+				}
+			}
+		}
+		// Sanity relations.
+		if g.CriticalPathLen() > n {
+			t.Fatalf("iter %d: critical path longer than sequence", iter)
+		}
+		if g.CriticalPathColumns(lat) < g.CriticalPathLen() {
+			t.Fatalf("iter %d: weighted path shorter than unit path", iter)
+		}
+	}
+}

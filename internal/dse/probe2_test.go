@@ -1,0 +1,29 @@
+package dse
+
+import (
+	"testing"
+
+	"agingcgra/internal/prog"
+)
+
+// TestProbeScenarios prints the Table I surface: baseline vs proposed on
+// the three scenarios.
+func TestProbeScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe is slow")
+	}
+	for sc, g := range ScenarioGeometries() {
+		base, err := RunSuite(g, BaselineFactory, Options{Size: prog.Small})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rot, err := RunSuite(g, ProposedFactory, Options{Size: prog.Small})
+		if err != nil {
+			t.Fatal(err)
+		}
+		improv := base.WorstUtil() / rot.WorstUtil()
+		perfOverhead := float64(rot.TRCycles)/float64(base.TRCycles) - 1
+		t.Logf("%s %v: avg %.3f | worst base %.3f -> prop %.3f | lifetime improv %.2fx | perf overhead %.3f%%",
+			sc, g, base.AvgUtil(), base.WorstUtil(), rot.WorstUtil(), improv, perfOverhead*100)
+	}
+}

@@ -1,0 +1,30 @@
+package dse
+
+import (
+	"testing"
+
+	"agingcgra/internal/prog"
+)
+
+// TestProbeSweep prints the full design-space numbers at Small scale; it is
+// the calibration surface for the Fig. 6 reproduction. Run explicitly:
+//
+//	go test ./internal/dse/ -run TestProbeSweep -v -probe
+func TestProbeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe sweep is slow")
+	}
+	results, err := Sweep(nil, BaselineFactory, Options{Size: prog.Small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%-10s %8s %8s %8s %8s %8s %9s", "design", "relTime", "speedup", "relE", "avgU", "worstU", "offloads")
+	for _, r := range results {
+		t.Logf("%-10s %8.3f %8.2f %8.3f %8.3f %8.3f %9d",
+			r.Geom, r.RelTime(), r.Speedup(), r.RelEnergy(), r.AvgUtil(), r.WorstUtil(), r.Offloads)
+	}
+	sc := SelectScenarios(results)
+	for _, s := range []Scenario{BE, BP, BU} {
+		t.Logf("%s -> %s", s, sc[s].Geom)
+	}
+}

@@ -1,0 +1,150 @@
+// Package energy models system energy for the stand-alone GPP and the
+// TransRec system, reproducing the role of the paper's Cadence/NanGate-15nm
+// power numbers and FinCACTI cache estimates. It is a component-level
+// event-energy model: dynamic energy per executed instruction (cheaper on
+// the CGRA, which has no fetch/decode, but taxed by its crossbars), plus
+// leakage/clock power for every structure, plus per-offload context and
+// reconfiguration charges.
+//
+// Absolute joules are not the point — the paper's Fig. 6 reports energy
+// relative to the stand-alone GPP — so the constants are calibrated (see
+// Calibrated) against the three scenario anchors the paper names: the best
+// energy design (L16,W2) at ~0.90x, best performance (L32,W4) at ~1.20x,
+// and lowest utilization (L32,W8) at ~1.46x. Every other design point and
+// every trend is then left to the model.
+package energy
+
+import (
+	"agingcgra/internal/dbt"
+	"agingcgra/internal/fabric"
+)
+
+// Model holds the per-event energies (picojoules) and per-cycle powers
+// (picojoules per cycle, i.e. mW at 1 GHz).
+type Model struct {
+	// GPPInstr is the dynamic energy of one instruction on the GPP
+	// pipeline: fetch, decode, register file, ALU.
+	GPPInstr float64
+	// GPPMemExtra is the additional data-cache energy of a load or store.
+	GPPMemExtra float64
+	// CGRAOpBase is the dynamic energy of one operation on a fabric FU: no
+	// fetch/decode, just the FU datapath.
+	CGRAOpBase float64
+	// CGRAOpPerCtxLine is the crossbar switching energy per operation per
+	// context line: wider fabrics pay more per op.
+	CGRAOpPerCtxLine float64
+	// OffloadCtx is the per-offload cost of moving the input context in
+	// and results out.
+	OffloadCtx float64
+	// ReconfigPerColumn is the configuration-cache read plus broadcast
+	// energy per column reconfigured.
+	ReconfigPerColumn float64
+
+	// GPPStatic is the GPP's leakage+clock power.
+	GPPStatic float64
+	// FULeak is the leakage of one (clock-gated, idle) FU cell, charged
+	// every cycle for every cell.
+	FULeak float64
+	// FUActive is the extra power of a configured (stressed) FU cell,
+	// charged per stress cycle.
+	FUActive float64
+	// CachePerEntryStatic is the configuration cache leakage per entry,
+	// scaled by the per-column configuration word.
+	CachePerEntryStatic float64
+}
+
+// Calibrated returns the model used throughout the reproduction.
+//
+// The dynamic constants are plausible 15nm magnitudes (a few pJ per
+// instruction); the three fabric constants (CGRAOpPerCtxLine, FULeak,
+// FUActive) were fitted once against the paper's Fig. 6 anchors and then
+// frozen. EXPERIMENTS.md records how the full 12-point design space
+// reproduces under this single calibration.
+func Calibrated() Model {
+	return Model{
+		GPPInstr:          8.0,
+		GPPMemExtra:       6.0,
+		CGRAOpBase:        4.0,
+		CGRAOpPerCtxLine:  0.3,
+		OffloadCtx:        30.0,
+		ReconfigPerColumn: 1.5,
+
+		GPPStatic:           18.0,
+		FULeak:              0.08,
+		FUActive:            0.12,
+		CachePerEntryStatic: 0.002,
+	}
+}
+
+// GPPEnergy returns the stand-alone GPP energy for a run described by its
+// cycle count and per-class instruction counts.
+func (m Model) GPPEnergy(cycles uint64, classes dbt.ClassCounts) float64 {
+	instrs := classes.Total()
+	mem := classes[classIdxLoad] + classes[classIdxStore]
+	return float64(instrs)*m.GPPInstr +
+		float64(mem)*m.GPPMemExtra +
+		float64(cycles)*m.GPPStatic
+}
+
+// Indices into dbt.ClassCounts (mirroring isa.Class order: ALU, Mul, Div,
+// Load, Store, Branch, Jump, Sys).
+const (
+	classIdxLoad  = 3
+	classIdxStore = 4
+)
+
+// TransRecEnergy returns the full-system energy of a TransRec run.
+func (m Model) TransRecEnergy(r *dbt.Report) float64 {
+	g := r.Geom
+	// Dynamic: instructions wherever they executed.
+	e := float64(r.GPPClasses.Total())*m.GPPInstr + float64(r.CGRAClasses.Total())*m.CGRAOpBase
+	memGPP := r.GPPClasses[classIdxLoad] + r.GPPClasses[classIdxStore]
+	memCGRA := r.CGRAClasses[classIdxLoad] + r.CGRAClasses[classIdxStore]
+	e += float64(memGPP+memCGRA) * m.GPPMemExtra
+	e += float64(r.CGRAClasses.Total()) * m.CGRAOpPerCtxLine * float64(g.CtxLines)
+
+	// Offload events.
+	e += float64(r.Offloads) * m.OffloadCtx
+	e += float64(r.ReconfigEvents) * m.ReconfigPerColumn * float64(g.Cols)
+
+	// Static: the GPP clock runs for the whole execution; every FU leaks
+	// for the whole execution; configured FUs draw active power while
+	// stressed; the configuration cache leaks proportionally to its
+	// geometry-dependent entry size.
+	e += float64(r.TotalCycles) * m.GPPStatic
+	e += float64(r.TotalCycles) * float64(g.NumFUs()) * m.FULeak
+	e += float64(r.StressSum) * m.FUActive
+	e += float64(r.TotalCycles) * float64(g.Cols) * m.CachePerEntryStatic * 128
+
+	return e
+}
+
+// Relative returns TransRec energy normalised to the stand-alone GPP
+// baseline for the same work.
+func (m Model) Relative(r *dbt.Report, gppCycles uint64, gppClasses dbt.ClassCounts) float64 {
+	base := m.GPPEnergy(gppCycles, gppClasses)
+	if base == 0 {
+		return 0
+	}
+	return m.TransRecEnergy(r) / base
+}
+
+// Geometry-dependent helper: bits of configuration word per column, used by
+// the area model too (input mux selects, FU opcode, output mux selects).
+func ConfigBitsPerColumn(g fabric.Geometry) int {
+	inSel := 2 * g.Rows * log2ceil(g.CtxLines)
+	opSel := 6 * g.Rows
+	outSel := g.CtxLines * log2ceil(g.Rows+1)
+	return inSel + opSel + outSel
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

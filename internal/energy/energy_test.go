@@ -1,0 +1,107 @@
+package energy
+
+import (
+	"testing"
+
+	"agingcgra/internal/dbt"
+	"agingcgra/internal/fabric"
+)
+
+func sampleReport(g fabric.Geometry) *dbt.Report {
+	r := &dbt.Report{Geom: g}
+	r.TotalCycles = 100_000
+	r.GPPCycles = 40_000
+	r.CGRACycles = 60_000
+	r.GPPInstrs = 30_000
+	r.CGRAInstrs = 70_000
+	r.GPPClasses[0] = 25_000 // ALU
+	r.GPPClasses[3] = 5_000  // loads
+	r.CGRAClasses[0] = 55_000
+	r.CGRAClasses[3] = 10_000
+	r.CGRAClasses[4] = 5_000
+	r.TotalInstrs = 100_000
+	r.Offloads = 5_000
+	r.ReconfigEvents = 1_000
+	r.StressSum = 1_200_000
+	return r
+}
+
+func TestGPPEnergyComposition(t *testing.T) {
+	m := Calibrated()
+	var classes dbt.ClassCounts
+	classes[0] = 100 // ALU
+	classes[3] = 20  // loads
+	classes[4] = 10  // stores
+	got := m.GPPEnergy(500, classes)
+	want := 130*m.GPPInstr + 30*m.GPPMemExtra + 500*m.GPPStatic
+	if got != want {
+		t.Errorf("GPPEnergy = %v, want %v", got, want)
+	}
+}
+
+func TestTransRecEnergyPositiveAndMonotone(t *testing.T) {
+	m := Calibrated()
+	small := sampleReport(fabric.NewGeometry(2, 16))
+	big := sampleReport(fabric.NewGeometry(8, 32))
+	eSmall := m.TransRecEnergy(small)
+	eBig := m.TransRecEnergy(big)
+	if eSmall <= 0 {
+		t.Fatal("energy must be positive")
+	}
+	if eBig <= eSmall {
+		t.Errorf("a 16x-larger fabric must cost more leakage: %v vs %v", eBig, eSmall)
+	}
+}
+
+func TestRelative(t *testing.T) {
+	m := Calibrated()
+	r := sampleReport(fabric.NewGeometry(2, 16))
+	var classes dbt.ClassCounts
+	classes[0] = 85_000
+	classes[3] = 15_000
+	rel := m.Relative(r, 150_000, classes)
+	if rel <= 0 {
+		t.Errorf("relative energy = %v", rel)
+	}
+	if m.Relative(r, 0, dbt.ClassCounts{}) != 0 {
+		t.Error("zero baseline must not divide")
+	}
+}
+
+// The calibration anchors: a faster TransRec run on a small fabric must
+// save energy versus the same work done slowly on the GPP; the energy is
+// dominated by static power, so cycles matter most.
+func TestStaticPowerDominatesRuntime(t *testing.T) {
+	m := Calibrated()
+	fast := sampleReport(fabric.NewGeometry(2, 16))
+	slow := sampleReport(fabric.NewGeometry(2, 16))
+	slow.TotalCycles *= 2
+	if m.TransRecEnergy(slow) <= m.TransRecEnergy(fast) {
+		t.Error("longer runtime must cost more energy")
+	}
+}
+
+func TestConfigBitsPerColumn(t *testing.T) {
+	g := fabric.NewGeometry(2, 16) // ctx = 6
+	// inSel: 2*2*log2(6)=12; opSel: 12; outSel: 6*log2(3)=12 -> 36.
+	if got := ConfigBitsPerColumn(g); got != 36 {
+		t.Errorf("ConfigBitsPerColumn = %d, want 36", got)
+	}
+	big := fabric.NewGeometry(8, 32) // ctx = 18
+	if ConfigBitsPerColumn(big) <= ConfigBitsPerColumn(g) {
+		t.Error("config word must grow with fabric width")
+	}
+}
+
+func TestCalibratedValuesSane(t *testing.T) {
+	m := Calibrated()
+	if m.CGRAOpBase >= m.GPPInstr {
+		t.Error("a CGRA op must be cheaper than a full GPP instruction (no fetch/decode)")
+	}
+	if m.FULeak <= 0 || m.FULeak >= m.GPPStatic {
+		t.Error("per-FU leakage must be positive and far below the whole GPP's static power")
+	}
+	if m.FUActive <= m.FULeak {
+		t.Error("an active FU must draw more than an idle one")
+	}
+}

@@ -1,0 +1,148 @@
+package fabric
+
+import (
+	"fmt"
+
+	"agingcgra/internal/isa"
+)
+
+// PlacedOp is one instruction of a virtual configuration together with its
+// position in the virtual (pivot-relative) coordinate system.
+type PlacedOp struct {
+	// Seq is the index of this op in the captured dynamic sequence.
+	Seq int
+	// PC is the instruction's address, used to follow the sequence during
+	// replay.
+	PC uint32
+	// Inst is the instruction.
+	Inst isa.Inst
+	// Taken records, for control transfers, the branch direction observed
+	// when the configuration was translated. Replay exits early when the
+	// actual direction diverges.
+	Taken bool
+	// Row and Col place the op in virtual fabric coordinates.
+	Row, Col int
+	// Width is the number of columns the op spans (its latency class).
+	Width int
+}
+
+// EndCol returns the first column after the op.
+func (p PlacedOp) EndCol() int { return p.Col + p.Width }
+
+// Config is a virtual CGRA configuration: a placed dynamic instruction
+// sequence, pivot at (0,0). The utilization-aware allocator shifts the
+// whole configuration by an Offset at load time; nothing in the Config
+// itself changes.
+type Config struct {
+	// StartPC indexes the configuration in the configuration cache.
+	StartPC uint32
+	// Geom is the fabric the configuration was placed for.
+	Geom Geometry
+	// Ops holds the placed operations in sequence order. Direct jumps have
+	// Width 0: they consume no FU.
+	Ops []PlacedOp
+	// UsedCols is the highest EndCol over all ops.
+	UsedCols int
+
+	cells []Cell // cached occupied cells
+}
+
+// NumOps returns the number of instructions in the configuration.
+func (c *Config) NumOps() int { return len(c.Ops) }
+
+// Cells returns every FU cell occupied by the configuration, in a stable
+// order, computed once. An op of width w occupies w consecutive cells in
+// its row. The returned slice must not be modified.
+func (c *Config) Cells() []Cell {
+	if c.cells != nil {
+		return c.cells
+	}
+	seen := make(map[Cell]bool)
+	for _, op := range c.Ops {
+		for w := 0; w < op.Width; w++ {
+			cell := Cell{Row: op.Row, Col: op.Col + w}
+			if !seen[cell] {
+				seen[cell] = true
+				c.cells = append(c.cells, cell)
+			}
+		}
+	}
+	// Stable order: row-major.
+	sortCells(c.cells)
+	return c.cells
+}
+
+func sortCells(cells []Cell) {
+	// Insertion sort: cell lists are small and this avoids pulling in
+	// sort.Slice allocations on a hot path.
+	for i := 1; i < len(cells); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cells[j-1], cells[j]
+			if a.Row < b.Row || (a.Row == b.Row && a.Col <= b.Col) {
+				break
+			}
+			cells[j-1], cells[j] = cells[j], cells[j-1]
+		}
+	}
+}
+
+// ExecCyclesTo returns the execution time, in processor cycles, of running
+// the configuration up to and including the op at sequence position
+// exitSeq (or the whole configuration when exitSeq is the last op).
+func (c *Config) ExecCyclesTo(exitSeq int) uint64 {
+	maxEnd := 0
+	for _, op := range c.Ops {
+		if op.Seq > exitSeq {
+			break
+		}
+		if e := op.EndCol(); e > maxEnd {
+			maxEnd = e
+		}
+	}
+	return CyclesForColumns(maxEnd)
+}
+
+// ExecCycles returns the execution time of the full configuration.
+func (c *Config) ExecCycles() uint64 { return CyclesForColumns(c.UsedCols) }
+
+// Validate checks the structural invariants of a placed configuration:
+// every op within bounds, no two ops sharing an FU cell, UsedCols
+// consistent, and sequence numbers strictly increasing.
+func (c *Config) Validate() error {
+	if err := c.Geom.Validate(); err != nil {
+		return err
+	}
+	occupied := make(map[Cell]int)
+	maxEnd := 0
+	lastSeq := -1
+	for i, op := range c.Ops {
+		if op.Seq <= lastSeq {
+			return fmt.Errorf("fabric: op %d sequence %d not increasing", i, op.Seq)
+		}
+		lastSeq = op.Seq
+		if op.Width == 0 {
+			continue // direct jump, no FU
+		}
+		if op.Row < 0 || op.Row >= c.Geom.Rows {
+			return fmt.Errorf("fabric: op %d row %d outside geometry %v", i, op.Row, c.Geom)
+		}
+		if op.Col < 0 || op.EndCol() > c.Geom.Cols {
+			return fmt.Errorf("fabric: op %d cols [%d,%d) outside geometry %v",
+				i, op.Col, op.EndCol(), c.Geom)
+		}
+		for w := 0; w < op.Width; w++ {
+			cell := Cell{Row: op.Row, Col: op.Col + w}
+			if prev, dup := occupied[cell]; dup {
+				return fmt.Errorf("fabric: ops %d and %d overlap at %v", prev, i, cell)
+			}
+			occupied[cell] = i
+		}
+		if e := op.EndCol(); e > maxEnd {
+			maxEnd = e
+		}
+	}
+	if c.UsedCols != maxEnd {
+		return fmt.Errorf("fabric: UsedCols = %d, computed %d", c.UsedCols, maxEnd)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package gpp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryWordRoundTrip(t *testing.T) {
+	m := NewMemory(4096)
+	f := func(addr uint16, v uint32) bool {
+		a := uint32(addr) &^ 3 // aligned, in range
+		if int(a)+4 > m.Size() {
+			return true
+		}
+		if err := m.StoreWord(a, v); err != nil {
+			return false
+		}
+		got, err := m.LoadWord(a)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryLittleEndian(t *testing.T) {
+	m := NewMemory(64)
+	if err := m.StoreWord(0, 0x04030201); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		b, err := m.LoadByte(uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != byte(i+1) {
+			t.Errorf("byte %d = %d, want %d", i, b, i+1)
+		}
+	}
+	h, err := m.LoadHalf(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0x0403 {
+		t.Errorf("half at 2 = %#x, want 0x0403", h)
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	m := NewMemory(16)
+	if _, err := m.LoadWord(13); err == nil {
+		t.Error("load straddling end should fail")
+	}
+	if err := m.StoreWord(16, 1); err == nil {
+		t.Error("store at size should fail")
+	}
+	if _, err := m.LoadByte(15); err != nil {
+		t.Error("last byte should be accessible")
+	}
+	if err := m.WriteBytes(8, make([]byte, 9)); err == nil {
+		t.Error("overlong WriteBytes should fail")
+	}
+	var ae *AccessError
+	_, err := m.LoadWord(1 << 30)
+	if !asAccessError(err, &ae) {
+		t.Fatalf("error %T is not AccessError", err)
+	}
+	if ae.Addr != 1<<30 || ae.Op != "load" {
+		t.Errorf("AccessError fields = %+v", ae)
+	}
+}
+
+func TestWordsHelpers(t *testing.T) {
+	m := NewMemory(1024)
+	in := []uint32{1, 2, 3, 0xdeadbeef}
+	if err := m.WriteWords(100, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.ReadWords(100, len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("word %d = %#x, want %#x", i, out[i], in[i])
+		}
+	}
+	buf, err := m.ReadBytes(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[3] != 0 {
+		t.Errorf("ReadBytes = %v", buf)
+	}
+}

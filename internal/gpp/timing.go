@@ -1,0 +1,77 @@
+package gpp
+
+import "agingcgra/internal/isa"
+
+// Timing is the cycle model of the single-issue in-order GPP. It mirrors the
+// role of gem5's TimingSimple CPU in the paper: a base cost per instruction
+// class, a fetch-redirect bubble for taken control transfers, and a penalty
+// for mispredicted conditional branches under a static backward-taken /
+// forward-not-taken (BTFN) predictor. Data caches are assumed to hit; the
+// MiBench "small" working sets the paper uses fit comfortably in L1.
+type Timing struct {
+	ALU   uint64 // cycles for simple integer ops
+	Mul   uint64 // cycles for multiply-class ops
+	Div   uint64 // cycles for divide/remainder ops
+	Load  uint64 // cycles for loads (cache hit)
+	Store uint64 // cycles for stores (cache hit, write buffer)
+
+	// TakenRedirect is the fetch bubble paid by every taken control
+	// transfer (branch or jump), even when correctly predicted: the core
+	// has no BTB, so the new fetch address is known only at decode.
+	TakenRedirect uint64
+	// Mispredict is the additional penalty when a conditional branch
+	// resolves against the BTFN prediction.
+	Mispredict uint64
+}
+
+// DefaultTiming returns the calibration used throughout the reproduction.
+// It mirrors gem5's TimingSimple single-issue core on a small embedded
+// memory hierarchy: L1 hits still cost several cycles on the timing path,
+// and taken control transfers pay a two-cycle fetch redirect since the
+// front end has no BTB.
+func DefaultTiming() Timing {
+	return Timing{
+		ALU:           1,
+		Mul:           4,
+		Div:           16,
+		Load:          4,
+		Store:         1,
+		TakenRedirect: 2,
+		Mispredict:    3,
+	}
+}
+
+// PredictTaken is the static BTFN prediction for a conditional branch:
+// backward branches (negative offset) are predicted taken.
+func PredictTaken(in isa.Inst) bool { return in.Imm < 0 }
+
+// CyclesFor returns the cycle cost of one retired instruction. taken is
+// meaningful only for control transfers.
+func (t Timing) CyclesFor(in isa.Inst, taken bool) uint64 {
+	switch in.Op.Class() {
+	case isa.ClassALU:
+		return t.ALU
+	case isa.ClassMul:
+		return t.Mul
+	case isa.ClassDiv:
+		return t.Div
+	case isa.ClassLoad:
+		return t.Load
+	case isa.ClassStore:
+		return t.Store
+	case isa.ClassBranch:
+		c := t.ALU
+		if taken {
+			c += t.TakenRedirect
+		}
+		if taken != PredictTaken(in) {
+			c += t.Mispredict
+		}
+		return c
+	case isa.ClassJump:
+		return t.ALU + t.TakenRedirect
+	case isa.ClassSys:
+		return t.ALU
+	}
+	return t.ALU
+}

@@ -1,0 +1,59 @@
+package gpp
+
+import (
+	"testing"
+
+	"agingcgra/internal/isa"
+)
+
+func TestCyclesForClasses(t *testing.T) {
+	tm := DefaultTiming()
+	cases := []struct {
+		in    isa.Inst
+		taken bool
+		want  uint64
+	}{
+		{isa.Inst{Op: isa.ADD}, false, tm.ALU},
+		{isa.Inst{Op: isa.MUL}, false, tm.Mul},
+		{isa.Inst{Op: isa.DIV}, false, tm.Div},
+		{isa.Inst{Op: isa.LW}, false, tm.Load},
+		{isa.Inst{Op: isa.SW}, false, tm.Store},
+		{isa.Inst{Op: isa.ECALL}, false, tm.ALU},
+		// Backward branch taken: predicted correctly, pays redirect only.
+		{isa.Inst{Op: isa.BNE, Imm: -8}, true, tm.ALU + tm.TakenRedirect},
+		// Backward branch not taken: mispredicted.
+		{isa.Inst{Op: isa.BNE, Imm: -8}, false, tm.ALU + tm.Mispredict},
+		// Forward branch not taken: predicted correctly.
+		{isa.Inst{Op: isa.BEQ, Imm: 8}, false, tm.ALU},
+		// Forward branch taken: redirect + mispredict.
+		{isa.Inst{Op: isa.BEQ, Imm: 8}, true, tm.ALU + tm.TakenRedirect + tm.Mispredict},
+		// Jumps always pay the redirect.
+		{isa.Inst{Op: isa.JAL, Imm: 16}, true, tm.ALU + tm.TakenRedirect},
+		{isa.Inst{Op: isa.JALR}, true, tm.ALU + tm.TakenRedirect},
+	}
+	for _, c := range cases {
+		if got := tm.CyclesFor(c.in, c.taken); got != c.want {
+			t.Errorf("CyclesFor(%v, taken=%v) = %d, want %d", c.in, c.taken, got, c.want)
+		}
+	}
+}
+
+func TestPredictTaken(t *testing.T) {
+	if !PredictTaken(isa.Inst{Op: isa.BNE, Imm: -4}) {
+		t.Error("backward branch should predict taken")
+	}
+	if PredictTaken(isa.Inst{Op: isa.BNE, Imm: 4}) {
+		t.Error("forward branch should predict not taken")
+	}
+}
+
+func TestTimingMonotonicity(t *testing.T) {
+	// A sanity property: divide is the slowest op, ALU the fastest.
+	tm := DefaultTiming()
+	if tm.Div <= tm.Mul || tm.Mul <= tm.ALU {
+		t.Error("expected Div > Mul > ALU in the default calibration")
+	}
+	if tm.Load < tm.ALU {
+		t.Error("loads should cost at least as much as ALU ops")
+	}
+}

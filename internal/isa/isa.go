@@ -1,0 +1,304 @@
+// Package isa defines the RV32IM instruction subset used throughout the
+// simulator: instruction representation, classification, binary encoding and
+// a small two-pass assembler.
+//
+// The subset covers the integer base ISA (RV32I) plus the M extension, which
+// is what the MiBench-style workloads in internal/prog need. Instructions are
+// kept in decoded form (Inst) everywhere; the binary encoding in encode.go
+// exists for fidelity and round-trip testing.
+package isa
+
+import "fmt"
+
+// Op identifies an operation of the RV32IM subset.
+type Op uint8
+
+// Operations. The order groups them by instruction class; use the Class
+// method rather than numeric ranges.
+const (
+	// Invalid is the zero Op. It never appears in assembled programs.
+	Invalid Op = iota
+
+	// RV32I register-register.
+	ADD
+	SUB
+	SLL
+	SLT
+	SLTU
+	XOR
+	SRL
+	SRA
+	OR
+	AND
+
+	// RV32M.
+	MUL
+	MULH
+	MULHSU
+	MULHU
+	DIV
+	DIVU
+	REM
+	REMU
+
+	// RV32I register-immediate.
+	ADDI
+	SLTI
+	SLTIU
+	XORI
+	ORI
+	ANDI
+	SLLI
+	SRLI
+	SRAI
+
+	// Upper-immediate.
+	LUI
+	AUIPC
+
+	// Loads.
+	LB
+	LH
+	LW
+	LBU
+	LHU
+
+	// Stores.
+	SB
+	SH
+	SW
+
+	// Conditional branches.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	// Unconditional jumps.
+	JAL
+	JALR
+
+	// Environment call; the runtime treats it as "halt".
+	ECALL
+
+	numOps
+)
+
+// Class partitions operations by their execution resource and latency
+// behaviour. The CGRA fabric assigns functional-unit latencies per class.
+type Class uint8
+
+const (
+	ClassALU    Class = iota // single-column integer ops, half a cycle
+	ClassMul                 // multiplier ops
+	ClassDiv                 // divider ops
+	ClassLoad                // data-cache reads
+	ClassStore               // data-cache writes
+	ClassBranch              // conditional branches (compare + exit)
+	ClassJump                // unconditional control transfer
+	ClassSys                 // ecall; never mapped to the CGRA
+)
+
+// Format is the RISC-V instruction encoding format.
+type Format uint8
+
+const (
+	FormatR Format = iota
+	FormatI
+	FormatS
+	FormatB
+	FormatU
+	FormatJ
+)
+
+type opInfo struct {
+	name   string
+	format Format
+	class  Class
+}
+
+var opTable = [numOps]opInfo{
+	Invalid: {"invalid", FormatR, ClassSys},
+
+	ADD:    {"add", FormatR, ClassALU},
+	SUB:    {"sub", FormatR, ClassALU},
+	SLL:    {"sll", FormatR, ClassALU},
+	SLT:    {"slt", FormatR, ClassALU},
+	SLTU:   {"sltu", FormatR, ClassALU},
+	XOR:    {"xor", FormatR, ClassALU},
+	SRL:    {"srl", FormatR, ClassALU},
+	SRA:    {"sra", FormatR, ClassALU},
+	OR:     {"or", FormatR, ClassALU},
+	AND:    {"and", FormatR, ClassALU},
+	MUL:    {"mul", FormatR, ClassMul},
+	MULH:   {"mulh", FormatR, ClassMul},
+	MULHSU: {"mulhsu", FormatR, ClassMul},
+	MULHU:  {"mulhu", FormatR, ClassMul},
+	DIV:    {"div", FormatR, ClassDiv},
+	DIVU:   {"divu", FormatR, ClassDiv},
+	REM:    {"rem", FormatR, ClassDiv},
+	REMU:   {"remu", FormatR, ClassDiv},
+
+	ADDI:  {"addi", FormatI, ClassALU},
+	SLTI:  {"slti", FormatI, ClassALU},
+	SLTIU: {"sltiu", FormatI, ClassALU},
+	XORI:  {"xori", FormatI, ClassALU},
+	ORI:   {"ori", FormatI, ClassALU},
+	ANDI:  {"andi", FormatI, ClassALU},
+	SLLI:  {"slli", FormatI, ClassALU},
+	SRLI:  {"srli", FormatI, ClassALU},
+	SRAI:  {"srai", FormatI, ClassALU},
+
+	LUI:   {"lui", FormatU, ClassALU},
+	AUIPC: {"auipc", FormatU, ClassALU},
+
+	LB:  {"lb", FormatI, ClassLoad},
+	LH:  {"lh", FormatI, ClassLoad},
+	LW:  {"lw", FormatI, ClassLoad},
+	LBU: {"lbu", FormatI, ClassLoad},
+	LHU: {"lhu", FormatI, ClassLoad},
+
+	SB: {"sb", FormatS, ClassStore},
+	SH: {"sh", FormatS, ClassStore},
+	SW: {"sw", FormatS, ClassStore},
+
+	BEQ:  {"beq", FormatB, ClassBranch},
+	BNE:  {"bne", FormatB, ClassBranch},
+	BLT:  {"blt", FormatB, ClassBranch},
+	BGE:  {"bge", FormatB, ClassBranch},
+	BLTU: {"bltu", FormatB, ClassBranch},
+	BGEU: {"bgeu", FormatB, ClassBranch},
+
+	JAL:  {"jal", FormatJ, ClassJump},
+	JALR: {"jalr", FormatI, ClassJump},
+
+	ECALL: {"ecall", FormatI, ClassSys},
+}
+
+// String returns the assembly mnemonic of the operation.
+func (o Op) String() string {
+	if o >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+	return opTable[o].name
+}
+
+// Format returns the RISC-V encoding format of the operation.
+func (o Op) Format() Format { return opTable[o].format }
+
+// Class returns the execution class of the operation.
+func (o Op) Class() Class { return opTable[o].class }
+
+// Ops returns every valid operation, in declaration order. The slice is
+// freshly allocated; callers may modify it.
+func Ops() []Op {
+	ops := make([]Op, 0, numOps-1)
+	for o := Op(1); o < numOps; o++ {
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// OpByName looks up an operation by its mnemonic. It returns Invalid and
+// false if the mnemonic is unknown.
+func OpByName(name string) (Op, bool) {
+	for o := Op(1); o < numOps; o++ {
+		if opTable[o].name == name {
+			return o, true
+		}
+	}
+	return Invalid, false
+}
+
+// Inst is a decoded instruction. Imm holds the sign-extended immediate for
+// I/S/B/U/J formats (for U-format it is the value before the <<12 shift,
+// matching assembly syntax).
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32
+}
+
+// WritesRd reports whether the instruction architecturally writes Rd.
+// Writes to x0 are discarded by the core but still count as a destination
+// for dependence analysis purposes only when the register is not x0.
+func (i Inst) WritesRd() bool {
+	switch i.Op.Format() {
+	case FormatS, FormatB:
+		return false
+	}
+	if i.Op == ECALL {
+		return false
+	}
+	return i.Rd != X0
+}
+
+// ReadsRs1 reports whether the instruction reads Rs1.
+func (i Inst) ReadsRs1() bool {
+	switch i.Op.Format() {
+	case FormatU, FormatJ:
+		return false
+	}
+	if i.Op == ECALL {
+		return false
+	}
+	return true
+}
+
+// ReadsRs2 reports whether the instruction reads Rs2.
+func (i Inst) ReadsRs2() bool {
+	switch i.Op.Format() {
+	case FormatR, FormatS, FormatB:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (i Inst) IsLoad() bool { return i.Op.Class() == ClassLoad }
+
+// IsStore reports whether the instruction writes data memory.
+func (i Inst) IsStore() bool { return i.Op.Class() == ClassStore }
+
+// IsMem reports whether the instruction accesses data memory.
+func (i Inst) IsMem() bool { return i.IsLoad() || i.IsStore() }
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsBranch() bool { return i.Op.Class() == ClassBranch }
+
+// IsJump reports whether the instruction is an unconditional control
+// transfer (jal/jalr).
+func (i Inst) IsJump() bool { return i.Op.Class() == ClassJump }
+
+// IsControl reports whether the instruction may redirect the PC.
+func (i Inst) IsControl() bool { return i.IsBranch() || i.IsJump() }
+
+// String renders the instruction in conventional assembly syntax.
+func (i Inst) String() string {
+	switch i.Op.Format() {
+	case FormatR:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case FormatI:
+		switch {
+		case i.Op == ECALL:
+			return "ecall"
+		case i.IsLoad() || i.Op == JALR:
+			return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rd, i.Imm, i.Rs1)
+		default:
+			return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+		}
+	case FormatS:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case FormatB:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case FormatU:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	case FormatJ:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	}
+	return i.Op.String()
+}

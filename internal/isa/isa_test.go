@@ -1,0 +1,153 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStringAndLookup(t *testing.T) {
+	for _, op := range Ops() {
+		name := op.String()
+		if name == "" || strings.Contains(name, "op(") {
+			t.Fatalf("op %d has no mnemonic", op)
+		}
+		got, ok := OpByName(name)
+		if !ok || got != op {
+			t.Fatalf("OpByName(%q) = %v, %v; want %v", name, got, ok, op)
+		}
+	}
+	if _, ok := OpByName("frobnicate"); ok {
+		t.Fatal("OpByName accepted unknown mnemonic")
+	}
+}
+
+func TestOpsCount(t *testing.T) {
+	if got, want := len(Ops()), int(numOps)-1; got != want {
+		t.Fatalf("Ops() returned %d ops, want %d", got, want)
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		name string
+		reg  Reg
+	}{
+		{"zero", X0}, {"ra", RA}, {"sp", SP}, {"a0", A0}, {"a7", A7},
+		{"s0", S0}, {"fp", S0}, {"s11", S11}, {"t6", T6}, {"x0", X0},
+		{"x31", T6}, {"x10", A0},
+	}
+	for _, c := range cases {
+		got, ok := RegByName(c.name)
+		if !ok || got != c.reg {
+			t.Errorf("RegByName(%q) = %v, %v; want %v", c.name, got, ok, c.reg)
+		}
+	}
+	for _, bad := range []string{"", "x32", "q3", "a8x", "x-1"} {
+		if _, ok := RegByName(bad); ok {
+			t.Errorf("RegByName(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestRegStringRoundTrip(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		got, ok := RegByName(r.String())
+		if !ok || got != r {
+			t.Errorf("register %d round-trip failed: %q -> %v, %v", r, r.String(), got, ok)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		in      Inst
+		load    bool
+		store   bool
+		branch  bool
+		jump    bool
+		writes  bool
+		readsR1 bool
+		readsR2 bool
+	}{
+		{Inst{Op: ADD, Rd: A0, Rs1: A1, Rs2: A2}, false, false, false, false, true, true, true},
+		{Inst{Op: ADDI, Rd: A0, Rs1: A1, Imm: 4}, false, false, false, false, true, true, false},
+		{Inst{Op: LW, Rd: A0, Rs1: SP, Imm: 8}, true, false, false, false, true, true, false},
+		{Inst{Op: SW, Rs1: SP, Rs2: A0, Imm: 8}, false, true, false, false, false, true, true},
+		{Inst{Op: BEQ, Rs1: A0, Rs2: A1, Imm: 16}, false, false, true, false, false, true, true},
+		{Inst{Op: JAL, Rd: RA, Imm: 64}, false, false, false, true, true, false, false},
+		{Inst{Op: JALR, Rd: X0, Rs1: RA}, false, false, false, true, false, true, false},
+		{Inst{Op: LUI, Rd: T0, Imm: 5}, false, false, false, false, true, false, false},
+		{Inst{Op: ECALL}, false, false, false, false, false, false, false},
+		// Writes to x0 are not architectural writes.
+		{Inst{Op: ADD, Rd: X0, Rs1: A1, Rs2: A2}, false, false, false, false, false, true, true},
+	}
+	for _, c := range cases {
+		if c.in.IsLoad() != c.load {
+			t.Errorf("%v IsLoad = %v", c.in, c.in.IsLoad())
+		}
+		if c.in.IsStore() != c.store {
+			t.Errorf("%v IsStore = %v", c.in, c.in.IsStore())
+		}
+		if c.in.IsBranch() != c.branch {
+			t.Errorf("%v IsBranch = %v", c.in, c.in.IsBranch())
+		}
+		if c.in.IsJump() != c.jump {
+			t.Errorf("%v IsJump = %v", c.in, c.in.IsJump())
+		}
+		if c.in.WritesRd() != c.writes {
+			t.Errorf("%v WritesRd = %v", c.in, c.in.WritesRd())
+		}
+		if c.in.ReadsRs1() != c.readsR1 {
+			t.Errorf("%v ReadsRs1 = %v", c.in, c.in.ReadsRs1())
+		}
+		if c.in.ReadsRs2() != c.readsR2 {
+			t.Errorf("%v ReadsRs2 = %v", c.in, c.in.ReadsRs2())
+		}
+		if c.in.IsMem() != (c.load || c.store) {
+			t.Errorf("%v IsMem = %v", c.in, c.in.IsMem())
+		}
+		if c.in.IsControl() != (c.branch || c.jump) {
+			t.Errorf("%v IsControl = %v", c.in, c.in.IsControl())
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: A0, Rs1: A1, Rs2: A2}, "add a0, a1, a2"},
+		{Inst{Op: ADDI, Rd: A0, Rs1: A1, Imm: -3}, "addi a0, a1, -3"},
+		{Inst{Op: LW, Rd: A0, Rs1: SP, Imm: 8}, "lw a0, 8(sp)"},
+		{Inst{Op: SW, Rs1: SP, Rs2: A0, Imm: 8}, "sw a0, 8(sp)"},
+		{Inst{Op: BEQ, Rs1: A0, Rs2: A1, Imm: 16}, "beq a0, a1, 16"},
+		{Inst{Op: JAL, Rd: RA, Imm: 64}, "jal ra, 64"},
+		{Inst{Op: ECALL}, "ecall"},
+		{Inst{Op: LUI, Rd: T0, Imm: 5}, "lui t0, 5"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestClassLatenciesDistinct(t *testing.T) {
+	// Every op must fall into a well-defined class.
+	for _, op := range Ops() {
+		c := op.Class()
+		if c > ClassSys {
+			t.Errorf("op %v has invalid class %d", op, c)
+		}
+	}
+	if ADD.Class() != ClassALU || MUL.Class() != ClassMul || DIV.Class() != ClassDiv {
+		t.Error("wrong class assignment for add/mul/div")
+	}
+	if LW.Class() != ClassLoad || SW.Class() != ClassStore {
+		t.Error("wrong class assignment for lw/sw")
+	}
+	if BEQ.Class() != ClassBranch || JAL.Class() != ClassJump || ECALL.Class() != ClassSys {
+		t.Error("wrong class assignment for beq/jal/ecall")
+	}
+}

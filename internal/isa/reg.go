@@ -1,0 +1,86 @@
+package isa
+
+import "fmt"
+
+// Reg is an architectural register index, x0 through x31.
+type Reg uint8
+
+// Architectural registers with their ABI roles.
+const (
+	X0  Reg = iota // zero: hardwired zero
+	RA             // x1: return address
+	SP             // x2: stack pointer
+	GP             // x3: global pointer
+	TP             // x4: thread pointer
+	T0             // x5
+	T1             // x6
+	T2             // x7
+	S0             // x8 (fp)
+	S1             // x9
+	A0             // x10: argument / return value
+	A1             // x11
+	A2             // x12
+	A3             // x13
+	A4             // x14
+	A5             // x15
+	A6             // x16
+	A7             // x17
+	S2             // x18
+	S3             // x19
+	S4             // x20
+	S5             // x21
+	S6             // x22
+	S7             // x23
+	S8             // x24
+	S9             // x25
+	S10            // x26
+	S11            // x27
+	T3             // x28
+	T4             // x29
+	T5             // x30
+	T6             // x31
+
+	// NumRegs is the architectural register count.
+	NumRegs = 32
+)
+
+var regNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// String returns the ABI name of the register ("zero", "ra", "a0", ...).
+func (r Reg) String() string {
+	if r < NumRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("x%d", uint8(r))
+}
+
+// RegByName resolves a register by ABI name ("a0"), numeric name ("x10") or
+// the alias "fp" for s0. It returns false if the name is unknown.
+func RegByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	if name == "fp" {
+		return S0, true
+	}
+	if len(name) >= 2 && name[0] == 'x' {
+		n := 0
+		for _, c := range name[1:] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			n = n*10 + int(c-'0')
+		}
+		if n < NumRegs {
+			return Reg(n), true
+		}
+	}
+	return 0, false
+}

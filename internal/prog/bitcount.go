@@ -1,0 +1,108 @@
+package prog
+
+import (
+	"fmt"
+	"math/bits"
+
+	"agingcgra/internal/gpp"
+)
+
+// bitcountN returns the number of input words per size.
+func bitcountN(sz Size) int {
+	switch sz {
+	case Tiny:
+		return 128
+	case Large:
+		return 16384
+	default:
+		return 3072
+	}
+}
+
+const bitcountSrc = `
+# bitcount: population count over an array of words using two of the
+# classic methods from MiBench bitcnts: Kernighan clearing and a per-nibble
+# lookup table. The checksum combines both totals (they must agree).
+_start:
+	la   s0, input
+	la   t0, params
+	lw   s1, 0(t0)          # N words
+	la   s4, nibtab         # 16-byte nibble popcount table
+	li   s2, 0              # kernighan total
+	li   s3, 0              # table total
+	li   t0, 0              # i
+outer:
+	slli t1, t0, 2
+	add  t1, t1, s0
+	lw   t2, 0(t1)          # x = input[i]
+	mv   t3, t2
+kern:
+	beqz t3, kdone
+	addi t4, t3, -1
+	and  t3, t3, t4
+	addi s2, s2, 1
+	j    kern
+kdone:
+	mv   t3, t2
+	li   t5, 8              # 8 nibbles
+nib:
+	andi t4, t3, 15
+	add  t4, t4, s4
+	lbu  t4, 0(t4)
+	add  s3, s3, t4
+	srli t3, t3, 4
+	addi t5, t5, -1
+	bnez t5, nib
+	addi t0, t0, 1
+	blt  t0, s1, outer
+	# checksum = 31*kernighan + table
+	slli a0, s2, 5
+	sub  a0, a0, s2
+	add  a0, a0, s3
+	ecall
+`
+
+func newBitcount() *Benchmark {
+	l := newLayout()
+	l.alloc("params", 8)
+	l.alloc("nibtab", 16)
+	l.alloc("input", uint32(bitcountN(Large))*4)
+
+	gen := func(sz Size) []uint32 {
+		return newRNG(0x1bc0de).words(bitcountN(sz))
+	}
+
+	return register(&Benchmark{
+		Name:        "bitcount",
+		Description: "population count over a word array (Kernighan + nibble table)",
+		Source:      bitcountSrc,
+		Symbols:     l.symbols,
+		Setup: func(m *gpp.Memory, sz Size) error {
+			if err := m.StoreWord(l.symbols["params"], uint32(bitcountN(sz))); err != nil {
+				return err
+			}
+			tab := make([]byte, 16)
+			for i := range tab {
+				tab[i] = byte(bits.OnesCount8(uint8(i)))
+			}
+			if err := m.WriteBytes(l.symbols["nibtab"], tab); err != nil {
+				return err
+			}
+			return m.WriteWords(l.symbols["input"], gen(sz))
+		},
+		Check: func(_ *gpp.Memory, result uint32, sz Size) error {
+			var total uint32
+			for _, w := range gen(sz) {
+				total += uint32(bits.OnesCount32(w))
+			}
+			want := 31*total + total
+			if result != want {
+				return fmt.Errorf("bitcount checksum = %d, want %d", result, want)
+			}
+			return nil
+		},
+		MaxInstructions: 50_000_000,
+	})
+}
+
+var _ = newBitcount()

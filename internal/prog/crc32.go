@@ -1,0 +1,101 @@
+package prog
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"agingcgra/internal/gpp"
+)
+
+func crc32N(sz Size) int {
+	switch sz {
+	case Tiny:
+		return 512
+	case Large:
+		return 65536
+	default:
+		return 12288
+	}
+}
+
+const crc32Src = `
+# crc32: table-driven CRC-32 (IEEE polynomial, reflected form 0xEDB88320),
+# matching MiBench's CRC32 benchmark. The kernel builds the 256-entry table
+# and then streams the input buffer through it.
+_start:
+	# --- build table ---
+	la   s0, crctab
+	li   t0, 0              # n
+tbl_outer:
+	mv   t1, t0             # c = n
+	li   t2, 8
+tbl_inner:
+	andi t3, t1, 1
+	srli t1, t1, 1
+	beqz t3, tbl_skip
+	li   t4, 0xEDB88320
+	xor  t1, t1, t4
+tbl_skip:
+	addi t2, t2, -1
+	bnez t2, tbl_inner
+	slli t3, t0, 2
+	add  t3, t3, s0
+	sw   t1, 0(t3)
+	addi t0, t0, 1
+	li   t4, 256
+	blt  t0, t4, tbl_outer
+	# --- stream buffer ---
+	la   s1, input
+	la   t0, params
+	lw   s2, 0(t0)          # N bytes
+	li   s3, -1             # crc = 0xffffffff
+	li   t0, 0              # i
+crc_loop:
+	add  t1, t0, s1
+	lbu  t1, 0(t1)          # b
+	xor  t2, s3, t1
+	andi t2, t2, 255
+	slli t2, t2, 2
+	add  t2, t2, s0
+	lw   t2, 0(t2)          # tab[(crc ^ b) & 0xff]
+	srli t3, s3, 8
+	xor  s3, t2, t3
+	addi t0, t0, 1
+	blt  t0, s2, crc_loop
+	not  a0, s3             # final xor
+	ecall
+`
+
+func newCRC32() *Benchmark {
+	l := newLayout()
+	l.alloc("params", 8)
+	l.alloc("crctab", 256*4)
+	l.alloc("input", uint32(crc32N(Large)))
+
+	gen := func(sz Size) []byte {
+		return newRNG(0xc4c32).bytes(crc32N(sz))
+	}
+
+	return register(&Benchmark{
+		Name:        "crc32",
+		Description: "table-driven CRC-32 (IEEE) over a byte buffer",
+		Source:      crc32Src,
+		Symbols:     l.symbols,
+		Setup: func(m *gpp.Memory, sz Size) error {
+			if err := m.StoreWord(l.symbols["params"], uint32(crc32N(sz))); err != nil {
+				return err
+			}
+			return m.WriteBytes(l.symbols["input"], gen(sz))
+		},
+		Check: func(_ *gpp.Memory, result uint32, sz Size) error {
+			want := crc32.ChecksumIEEE(gen(sz))
+			if result != want {
+				return fmt.Errorf("crc32 = %#x, want %#x", result, want)
+			}
+			return nil
+		},
+		MaxInstructions: 50_000_000,
+	})
+}
+
+var _ = newCRC32()

@@ -1,0 +1,205 @@
+package prog
+
+import (
+	"fmt"
+
+	"agingcgra/internal/gpp"
+)
+
+// dijkstraDims returns (vertex count, source count) per size.
+func dijkstraDims(sz Size) (v, nsrc int) {
+	switch sz {
+	case Tiny:
+		return 20, 2
+	case Large:
+		return 128, 16
+	default:
+		return 64, 6
+	}
+}
+
+const dijkstraInf = 0x3fffffff
+
+const dijkstraSrc = `
+# dijkstra: O(V^2) single-source shortest paths over a dense adjacency
+# matrix (weight 0 = no edge), repeated from several sources, as in
+# MiBench's dijkstra over its adjacency-matrix input file.
+_start:
+	la   s0, graph
+	la   s1, dist
+	la   s2, vis
+	la   t0, params
+	lw   s3, 0(t0)          # V
+	lw   s8, 4(t0)          # number of sources
+	li   s9, 0              # src
+	li   s11, 0             # checksum accumulator
+src_loop:
+	# --- init dist[i]=INF, vis[i]=0 ---
+	li   t0, 0
+	li   t1, 0x3fffffff
+init:
+	slli t2, t0, 2
+	add  t3, t2, s1
+	sw   t1, 0(t3)
+	add  t3, t2, s2
+	sw   zero, 0(t3)
+	addi t0, t0, 1
+	blt  t0, s3, init
+	slli t2, s9, 2          # dist[src] = 0
+	add  t2, t2, s1
+	sw   zero, 0(t2)
+	li   s4, 0              # iteration count
+iter:
+	# --- select unvisited vertex with minimum distance ---
+	li   t0, 0
+	li   t1, -1             # best index
+	li   t2, 0x7fffffff     # best distance
+find:
+	slli t3, t0, 2
+	add  t4, t3, s2
+	lw   t5, 0(t4)
+	bnez t5, find_next
+	add  t4, t3, s1
+	lw   t5, 0(t4)
+	bge  t5, t2, find_next
+	mv   t2, t5
+	mv   t1, t0
+find_next:
+	addi t0, t0, 1
+	blt  t0, s3, find
+	bltz t1, iter_done
+	slli t3, t1, 2          # vis[u] = 1
+	add  t4, t3, s2
+	li   t5, 1
+	sw   t5, 0(t4)
+	add  t4, t3, s1         # du = dist[u]
+	lw   s5, 0(t4)
+	mul  t5, t1, s3         # row pointer = graph + u*V*4
+	slli t5, t5, 2
+	add  t5, t5, s0
+	li   t0, 0
+relax:
+	slli t3, t0, 2
+	add  t4, t3, t5
+	lw   t6, 0(t4)          # w(u,v)
+	beqz t6, relax_next
+	add  t6, t6, s5         # candidate = du + w
+	add  t4, t3, s1
+	lw   a1, 0(t4)
+	bge  t6, a1, relax_next
+	sw   t6, 0(t4)
+relax_next:
+	addi t0, t0, 1
+	blt  t0, s3, relax
+	addi s4, s4, 1
+	blt  s4, s3, iter
+iter_done:
+	# --- fold distances into the checksum ---
+	li   t0, 0
+sum:
+	slli t2, t0, 2
+	add  t2, t2, s1
+	lw   t3, 0(t2)
+	add  s11, s11, t3
+	addi t0, t0, 1
+	blt  t0, s3, sum
+	addi s9, s9, 1
+	addi s8, s8, -1
+	bnez s8, src_loop
+	mv   a0, s11
+	ecall
+`
+
+// dijkstraGraph builds the dense weight matrix: roughly 25% of edges exist
+// with weights 1..15.
+func dijkstraGraph(sz Size) []uint32 {
+	v, _ := dijkstraDims(sz)
+	r := newRNG(0xd1735a)
+	g := make([]uint32, v*v)
+	for i := 0; i < v; i++ {
+		for j := 0; j < v; j++ {
+			if i == j {
+				continue
+			}
+			if r.intn(4) == 0 {
+				g[i*v+j] = uint32(1 + r.intn(15))
+			}
+		}
+	}
+	return g
+}
+
+// dijkstraRef recomputes the checksum in Go.
+func dijkstraRef(sz Size) uint32 {
+	v, nsrc := dijkstraDims(sz)
+	g := dijkstraGraph(sz)
+	var sum uint32
+	for src := 0; src < nsrc; src++ {
+		dist := make([]int32, v)
+		vis := make([]bool, v)
+		for i := range dist {
+			dist[i] = dijkstraInf
+		}
+		dist[src] = 0
+		for it := 0; it < v; it++ {
+			best, bestD := -1, int32(0x7fffffff)
+			for i := 0; i < v; i++ {
+				if !vis[i] && dist[i] < bestD {
+					best, bestD = i, dist[i]
+				}
+			}
+			if best < 0 {
+				break
+			}
+			vis[best] = true
+			for j := 0; j < v; j++ {
+				w := int32(g[best*v+j])
+				if w == 0 {
+					continue
+				}
+				if c := dist[best] + w; c < dist[j] {
+					dist[j] = c
+				}
+			}
+		}
+		for _, d := range dist {
+			sum += uint32(d)
+		}
+	}
+	return sum
+}
+
+func newDijkstra() *Benchmark {
+	l := newLayout()
+	vMax, _ := dijkstraDims(Large)
+	l.alloc("params", 8)
+	l.alloc("dist", uint32(vMax)*4)
+	l.alloc("vis", uint32(vMax)*4)
+	l.alloc("graph", uint32(vMax*vMax)*4)
+
+	return register(&Benchmark{
+		Name:        "dijkstra",
+		Description: "dense-matrix Dijkstra shortest paths from multiple sources",
+		Source:      dijkstraSrc,
+		Symbols:     l.symbols,
+		Setup: func(m *gpp.Memory, sz Size) error {
+			v, nsrc := dijkstraDims(sz)
+			if err := m.StoreWord(l.symbols["params"], uint32(v)); err != nil {
+				return err
+			}
+			if err := m.StoreWord(l.symbols["params"]+4, uint32(nsrc)); err != nil {
+				return err
+			}
+			return m.WriteWords(l.symbols["graph"], dijkstraGraph(sz))
+		},
+		Check: func(_ *gpp.Memory, result uint32, sz Size) error {
+			if want := dijkstraRef(sz); result != want {
+				return fmt.Errorf("dijkstra checksum = %#x, want %#x", result, want)
+			}
+			return nil
+		},
+		MaxInstructions: 50_000_000,
+	})
+}
+
+var _ = newDijkstra()

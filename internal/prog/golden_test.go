@@ -1,0 +1,63 @@
+package prog
+
+import "testing"
+
+// TestGoldenTiny pins the exact checksum and dynamic instruction count of
+// every kernel at the Tiny scale. These values are functional properties of
+// the kernels and inputs — any drift means a kernel, input generator or
+// emulator semantics change, which would silently invalidate every
+// experiment in the repository.
+func TestGoldenTiny(t *testing.T) {
+	golden := map[string]struct {
+		checksum uint32
+		dynamic  uint64
+	}{
+		"bitcount":        {0xff40, 18544},
+		"crc32":           {0x42a4c3fd, 21004},
+		"dijkstra":        {0x1e8, 13073},
+		"qsort":           {0x8c0eca25, 11977},
+		"rijndael":        {0x98526755, 24501},
+		"sha":             {0x5a1adcc, 18058},
+		"stringsearch":    {0x2d9, 16043},
+		"susan_corners":   {0x1c01, 114422},
+		"susan_edges":     {0x8845cb, 114904},
+		"susan_smoothing": {0x7e94, 94476},
+	}
+	for _, b := range All() {
+		want, ok := golden[b.Name]
+		if !ok {
+			t.Errorf("no golden entry for %s", b.Name)
+			continue
+		}
+		sum, n, err := b.RunReference(Tiny)
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if sum != want.checksum {
+			t.Errorf("%s checksum = %#x, want %#x", b.Name, sum, want.checksum)
+		}
+		if n != want.dynamic {
+			t.Errorf("%s dynamic instructions = %d, want %d", b.Name, n, want.dynamic)
+		}
+	}
+}
+
+// TestSuiteScalesWithSize ensures Small and Large genuinely grow the work.
+func TestSuiteScalesWithSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("size-scaling check is slow")
+	}
+	b, _ := ByName("crc32")
+	_, tiny, err := b.RunReference(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, small, err := b.RunReference(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small < 4*tiny {
+		t.Errorf("small (%d) should be much larger than tiny (%d)", small, tiny)
+	}
+}

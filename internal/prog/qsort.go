@@ -1,0 +1,158 @@
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"agingcgra/internal/gpp"
+)
+
+func qsortN(sz Size) int {
+	switch sz {
+	case Tiny:
+		return 128
+	case Large:
+		return 16384
+	default:
+		return 2048
+	}
+}
+
+const qsortSrc = `
+# qsort: iterative Lomuto-partition quicksort over signed words, with the
+# (lo,hi) work stack kept on the program stack, mirroring MiBench's qsort
+# of numeric records. Checksum folds every element with its final index.
+_start:
+	la   s0, input
+	la   t0, params
+	lw   s1, 0(t0)          # N
+	addi sp, sp, -8         # push (0, N-1)
+	sw   zero, 0(sp)
+	addi t1, s1, -1
+	sw   t1, 4(sp)
+	li   s2, 1              # work-stack depth
+qs_loop:
+	beqz s2, qs_done
+	lw   a1, 0(sp)          # lo
+	lw   a2, 4(sp)          # hi
+	addi sp, sp, 8
+	addi s2, s2, -1
+	bge  a1, a2, qs_loop
+	# --- partition, pivot = a[hi] ---
+	slli t0, a2, 2
+	add  t0, t0, s0
+	lw   a3, 0(t0)          # pivot value
+	mv   t1, a1             # i
+	mv   t2, a1             # j
+part:
+	bge  t2, a2, part_done
+	slli t3, t2, 2
+	add  t3, t3, s0
+	lw   t4, 0(t3)          # a[j]
+	bge  t4, a3, part_next
+	slli t5, t1, 2          # swap a[i], a[j]
+	add  t5, t5, s0
+	lw   t6, 0(t5)
+	sw   t4, 0(t5)
+	sw   t6, 0(t3)
+	addi t1, t1, 1
+part_next:
+	addi t2, t2, 1
+	j    part
+part_done:
+	slli t3, t1, 2          # swap a[i], a[hi]
+	add  t3, t3, s0
+	lw   t4, 0(t3)
+	sw   a3, 0(t3)
+	sw   t4, 0(t0)
+	addi t5, t1, -1         # push (lo, i-1) if non-trivial
+	ble  t5, a1, skip1
+	addi sp, sp, -8
+	sw   a1, 0(sp)
+	sw   t5, 4(sp)
+	addi s2, s2, 1
+skip1:
+	addi t5, t1, 1          # push (i+1, hi) if non-trivial
+	bge  t5, a2, skip2
+	addi sp, sp, -8
+	sw   t5, 0(sp)
+	sw   a2, 4(sp)
+	addi s2, s2, 1
+skip2:
+	j    qs_loop
+qs_done:
+	li   t0, 0
+	li   a0, 0
+cksum:
+	slli t1, t0, 2
+	add  t1, t1, s0
+	lw   t2, 0(t1)
+	xor  t2, t2, t0
+	add  a0, a0, t2
+	addi t0, t0, 1
+	blt  t0, s1, cksum
+	ecall
+`
+
+func newQsort() *Benchmark {
+	l := newLayout()
+	l.alloc("params", 8)
+	l.alloc("input", uint32(qsortN(Large))*4)
+
+	gen := func(sz Size) []uint32 {
+		return newRNG(0x9504f).words(qsortN(sz))
+	}
+
+	return register(&Benchmark{
+		Name:        "qsort",
+		Description: "iterative quicksort of signed words",
+		Source:      qsortSrc,
+		Symbols:     l.symbols,
+		Setup: func(m *gpp.Memory, sz Size) error {
+			if err := m.StoreWord(l.symbols["params"], uint32(qsortN(sz))); err != nil {
+				return err
+			}
+			return m.WriteWords(l.symbols["input"], gen(sz))
+		},
+		Check: func(m *gpp.Memory, result uint32, sz Size) error {
+			vals := gen(sz)
+			sorted := make([]int32, len(vals))
+			for i, v := range vals {
+				sorted[i] = int32(v)
+			}
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			var want uint32
+			for i, v := range sorted {
+				want += uint32(v) ^ uint32(i)
+			}
+			if result != want {
+				return fmt.Errorf("qsort checksum = %#x, want %#x", result, want)
+			}
+			// Stronger check: the array in memory must be exactly the
+			// reference sort.
+			got, err := m.ReadWords(addrOf(l, "input"), len(vals))
+			if err != nil {
+				return err
+			}
+			for i := range got {
+				if int32(got[i]) != sorted[i] {
+					return fmt.Errorf("qsort memory[%d] = %d, want %d", i, int32(got[i]), sorted[i])
+				}
+			}
+			return nil
+		},
+		MaxInstructions: 50_000_000,
+	})
+}
+
+// addrOf fetches a symbol address from a layout; panics on unknown symbols,
+// which would be a programming error in the benchmark definition.
+func addrOf(l *layout, name string) uint32 {
+	a, ok := l.symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("prog: unknown symbol %q", name))
+	}
+	return a
+}
+
+var _ = newQsort()

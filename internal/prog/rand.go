@@ -1,0 +1,51 @@
+package prog
+
+// rng is a small deterministic xorshift32 generator. The suite must be
+// bit-reproducible across runs and platforms, so it never touches
+// math/rand's global state or any clock.
+type rng struct {
+	state uint32
+}
+
+func newRNG(seed uint32) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b9
+	}
+	return &rng{state: seed}
+}
+
+// next returns the next 32-bit pseudo-random value.
+func (r *rng) next() uint32 {
+	x := r.state
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	r.state = x
+	return x
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint32(n))
+}
+
+// bytes fills a deterministic byte slice of length n.
+func (r *rng) bytes(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.next())
+	}
+	return out
+}
+
+// words fills a deterministic word slice of length n.
+func (r *rng) words(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.next()
+	}
+	return out
+}

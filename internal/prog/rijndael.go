@@ -1,0 +1,314 @@
+package prog
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"fmt"
+
+	"agingcgra/internal/gpp"
+)
+
+func rijndaelBlocks(sz Size) int {
+	switch sz {
+	case Tiny:
+		return 6
+	case Large:
+		return 512
+	default:
+		return 72
+	}
+}
+
+// aesSbox is the standard AES S-box.
+var aesSbox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+// aesKey is the fixed benchmark key (MiBench rijndael also uses a fixed
+// key from its command line).
+var aesKey = []byte{
+	0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+	0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+}
+
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1b
+	}
+	return b << 1
+}
+
+// aesExpandKey produces the 176-byte AES-128 round-key schedule. The key
+// schedule runs once per file in MiBench, so the harness precomputes it;
+// the kernel performs the per-block rounds.
+func aesExpandKey(key []byte) []byte {
+	rk := make([]byte, 176)
+	copy(rk, key)
+	rcon := byte(1)
+	for i := 16; i < 176; i += 4 {
+		t := [4]byte{rk[i-4], rk[i-3], rk[i-2], rk[i-1]}
+		if i%16 == 0 {
+			t = [4]byte{
+				aesSbox[t[1]] ^ rcon,
+				aesSbox[t[2]],
+				aesSbox[t[3]],
+				aesSbox[t[0]],
+			}
+			rcon = xtime(rcon)
+		}
+		for j := 0; j < 4; j++ {
+			rk[i+j] = rk[i-16+j] ^ t[j]
+		}
+	}
+	return rk
+}
+
+// aesShiftTab is the ShiftRows gather index table for the flat column-major
+// state: out[r+4c] = in[r + 4*((c+r) mod 4)].
+func aesShiftTab() []byte {
+	tab := make([]byte, 16)
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			tab[r+4*c] = byte(r + 4*((c+r)&3))
+		}
+	}
+	return tab
+}
+
+const rijndaelSrc = `
+# rijndael: AES-128 ECB encryption, byte-oriented (S-box, gather-table
+# ShiftRows, xtime-based MixColumns), with precomputed round keys.
+# Checksum folds the ciphertext words.
+_start:
+	la   s0, input
+	la   s1, output
+	la   s2, sbox
+	la   s3, rkeys
+	la   s4, shifttab
+	la   s7, st
+	la   s8, st2
+	la   t0, params
+	lw   s5, 0(t0)          # block count
+	li   s6, 0
+blk:
+	li   t0, 0              # st = in ^ rk[0]
+cp:
+	add  t1, s0, t0
+	lbu  t2, 0(t1)
+	add  t3, s3, t0
+	lbu  t4, 0(t3)
+	xor  t2, t2, t4
+	add  t3, s7, t0
+	sb   t2, 0(t3)
+	addi t0, t0, 1
+	li   t1, 16
+	blt  t0, t1, cp
+	li   s9, 1              # rounds 1..9
+rnd:
+	li   t0, 0              # st2[i] = sbox[st[shifttab[i]]]
+sr:
+	add  t1, s4, t0
+	lbu  t1, 0(t1)
+	add  t1, s7, t1
+	lbu  t1, 0(t1)
+	add  t1, s2, t1
+	lbu  t1, 0(t1)
+	add  t2, s8, t0
+	sb   t1, 0(t2)
+	addi t0, t0, 1
+	li   t1, 16
+	blt  t0, t1, sr
+	slli s10, s9, 4         # round key pointer
+	add  s10, s10, s3
+	li   t0, 0              # MixColumns + AddRoundKey, column by column
+mix:
+	add  t1, s8, t0
+	lbu  t2, 0(t1)          # a
+	lbu  t3, 1(t1)          # b
+	lbu  t4, 2(t1)          # c
+	lbu  t5, 3(t1)          # d
+	xor  t6, t2, t3
+	xor  a1, t4, t5
+	xor  t6, t6, a1         # t = a^b^c^d
+	add  a3, s7, t0
+	add  a4, s10, t0
+	xor  a1, t2, t3         # st[0] = a ^ t ^ xtime(a^b) ^ rk
+	slli a1, a1, 1
+	andi a2, a1, 256
+	beqz a2, m0
+	xori a1, a1, 0x11b
+m0:
+	andi a1, a1, 255
+	xor  a1, a1, t2
+	xor  a1, a1, t6
+	lbu  a5, 0(a4)
+	xor  a1, a1, a5
+	sb   a1, 0(a3)
+	xor  a1, t3, t4         # st[1] = b ^ t ^ xtime(b^c) ^ rk
+	slli a1, a1, 1
+	andi a2, a1, 256
+	beqz a2, m1
+	xori a1, a1, 0x11b
+m1:
+	andi a1, a1, 255
+	xor  a1, a1, t3
+	xor  a1, a1, t6
+	lbu  a5, 1(a4)
+	xor  a1, a1, a5
+	sb   a1, 1(a3)
+	xor  a1, t4, t5         # st[2] = c ^ t ^ xtime(c^d) ^ rk
+	slli a1, a1, 1
+	andi a2, a1, 256
+	beqz a2, m2
+	xori a1, a1, 0x11b
+m2:
+	andi a1, a1, 255
+	xor  a1, a1, t4
+	xor  a1, a1, t6
+	lbu  a5, 2(a4)
+	xor  a1, a1, a5
+	sb   a1, 2(a3)
+	xor  a1, t5, t2         # st[3] = d ^ t ^ xtime(d^a) ^ rk
+	slli a1, a1, 1
+	andi a2, a1, 256
+	beqz a2, m3
+	xori a1, a1, 0x11b
+m3:
+	andi a1, a1, 255
+	xor  a1, a1, t5
+	xor  a1, a1, t6
+	lbu  a5, 3(a4)
+	xor  a1, a1, a5
+	sb   a1, 3(a3)
+	addi t0, t0, 4
+	li   t1, 16
+	blt  t0, t1, mix
+	addi s9, s9, 1
+	li   t1, 10
+	blt  s9, t1, rnd
+	li   t0, 0              # final round: no MixColumns, straight to output
+fr:
+	add  t1, s4, t0
+	lbu  t1, 0(t1)
+	add  t1, s7, t1
+	lbu  t1, 0(t1)
+	add  t1, s2, t1
+	lbu  t1, 0(t1)
+	slli t2, s9, 4
+	add  t2, t2, s3
+	add  t2, t2, t0
+	lbu  t2, 0(t2)
+	xor  t1, t1, t2
+	add  t2, s1, t0
+	sb   t1, 0(t2)
+	addi t0, t0, 1
+	li   t2, 16
+	blt  t0, t2, fr
+	addi s0, s0, 16
+	addi s1, s1, 16
+	addi s6, s6, 1
+	blt  s6, s5, blk
+	la   s1, output         # checksum over ciphertext words
+	la   t0, params
+	lw   t1, 0(t0)
+	slli t1, t1, 2
+	li   t0, 0
+	li   a0, 0
+ck:
+	slli t2, t0, 2
+	add  t2, t2, s1
+	lw   t3, 0(t2)
+	add  a0, a0, t3
+	xor  a0, a0, t0
+	addi t0, t0, 1
+	blt  t0, t1, ck
+	ecall
+`
+
+func rijndaelPlaintext(sz Size) []byte {
+	return newRNG(0xae5).bytes(rijndaelBlocks(sz) * 16)
+}
+
+func newRijndael() *Benchmark {
+	l := newLayout()
+	maxBytes := uint32(rijndaelBlocks(Large) * 16)
+	l.alloc("params", 8)
+	l.alloc("sbox", 256)
+	l.alloc("shifttab", 16)
+	l.alloc("rkeys", 176)
+	l.alloc("st", 16)
+	l.alloc("st2", 16)
+	l.alloc("input", maxBytes)
+	l.alloc("output", maxBytes)
+
+	return register(&Benchmark{
+		Name:        "rijndael",
+		Description: "AES-128 ECB encryption (byte-oriented rounds)",
+		Source:      rijndaelSrc,
+		Symbols:     l.symbols,
+		Setup: func(m *gpp.Memory, sz Size) error {
+			if err := m.StoreWord(l.symbols["params"], uint32(rijndaelBlocks(sz))); err != nil {
+				return err
+			}
+			if err := m.WriteBytes(l.symbols["sbox"], aesSbox[:]); err != nil {
+				return err
+			}
+			if err := m.WriteBytes(l.symbols["shifttab"], aesShiftTab()); err != nil {
+				return err
+			}
+			if err := m.WriteBytes(l.symbols["rkeys"], aesExpandKey(aesKey)); err != nil {
+				return err
+			}
+			return m.WriteBytes(l.symbols["input"], rijndaelPlaintext(sz))
+		},
+		Check: func(m *gpp.Memory, result uint32, sz Size) error {
+			blocks := rijndaelBlocks(sz)
+			pt := rijndaelPlaintext(sz)
+			c, err := aes.NewCipher(aesKey)
+			if err != nil {
+				return err
+			}
+			ct := make([]byte, len(pt))
+			for b := 0; b < blocks; b++ {
+				c.Encrypt(ct[b*16:(b+1)*16], pt[b*16:(b+1)*16])
+			}
+			var want uint32
+			for i := 0; i < blocks*4; i++ {
+				want += binary.LittleEndian.Uint32(ct[i*4:])
+				want ^= uint32(i)
+			}
+			if result != want {
+				return fmt.Errorf("rijndael checksum = %#x, want %#x", result, want)
+			}
+			// Ciphertext in memory must match crypto/aes exactly.
+			got, err := m.ReadBytes(addrOf(l, "output"), blocks*16)
+			if err != nil {
+				return err
+			}
+			for i := range got {
+				if got[i] != ct[i] {
+					return fmt.Errorf("rijndael output[%d] = %#x, want %#x", i, got[i], ct[i])
+				}
+			}
+			return nil
+		},
+		MaxInstructions: 100_000_000,
+	})
+}
+
+var _ = newRijndael()

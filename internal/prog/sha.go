@@ -1,0 +1,199 @@
+package prog
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+
+	"agingcgra/internal/gpp"
+)
+
+// shaMsgLen returns the raw message length in bytes per size.
+func shaMsgLen(sz Size) int {
+	switch sz {
+	case Tiny:
+		return 256
+	case Large:
+		return 32768
+	default:
+		return 6144
+	}
+}
+
+const shaSrc = `
+# sha: SHA-1 over a pre-padded message. The harness performs the standard
+# padding and big-endian word conversion (MiBench's sha reads a file; our
+# "file" is the padded block stream), the kernel does the full 80-round
+# compression per block. Checksum: h0^h1^h2^h3^h4.
+_start:
+	la   s0, msg            # padded message as words
+	la   t0, params
+	lw   s1, 0(t0)          # block count
+	la   s2, wbuf           # 80-word schedule
+	li   s3, 0x67452301     # h0..h4
+	li   s4, 0xEFCDAB89
+	li   s5, 0x98BADCFE
+	li   s6, 0x10325476
+	li   s7, 0xC3D2E1F0
+	li   s8, 0              # block index
+blk:
+	li   t0, 0              # w[0..15] = block words
+w16:
+	slli t1, t0, 2
+	add  t2, t1, s0
+	lw   t3, 0(t2)
+	add  t2, t1, s2
+	sw   t3, 0(t2)
+	addi t0, t0, 1
+	li   t1, 16
+	blt  t0, t1, w16
+wsched:                     # w[t] = rotl1(w[t-3]^w[t-8]^w[t-14]^w[t-16])
+	slli t1, t0, 2
+	add  t1, t1, s2
+	lw   t2, -12(t1)
+	lw   t3, -32(t1)
+	xor  t2, t2, t3
+	lw   t3, -56(t1)
+	xor  t2, t2, t3
+	lw   t3, -64(t1)
+	xor  t2, t2, t3
+	slli t3, t2, 1
+	srli t2, t2, 31
+	or   t2, t2, t3
+	sw   t2, 0(t1)
+	addi t0, t0, 1
+	li   t1, 80
+	blt  t0, t1, wsched
+	mv   a1, s3             # a..e
+	mv   a2, s4
+	mv   a3, s5
+	mv   a4, s6
+	mv   a5, s7
+	li   t0, 0              # round
+round:
+	li   t1, 20
+	blt  t0, t1, f1
+	li   t1, 40
+	blt  t0, t1, f2
+	li   t1, 60
+	blt  t0, t1, f3
+	xor  t2, a2, a3         # rounds 60..79: parity
+	xor  t2, t2, a4
+	li   t3, 0xCA62C1D6
+	j    fdone
+f1:                         # rounds 0..19: choose
+	and  t2, a2, a3
+	not  t3, a2
+	and  t3, t3, a4
+	or   t2, t2, t3
+	li   t3, 0x5A827999
+	j    fdone
+f2:                         # rounds 20..39: parity
+	xor  t2, a2, a3
+	xor  t2, t2, a4
+	li   t3, 0x6ED9EBA1
+	j    fdone
+f3:                         # rounds 40..59: majority
+	and  t2, a2, a3
+	and  t4, a2, a4
+	or   t2, t2, t4
+	and  t4, a3, a4
+	or   t2, t2, t4
+	li   t3, 0x8F1BBCDC
+fdone:
+	slli t4, a1, 5          # temp = rotl5(a)+f+e+k+w[t]
+	srli t5, a1, 27
+	or   t4, t4, t5
+	add  t4, t4, t2
+	add  t4, t4, a5
+	add  t4, t4, t3
+	slli t5, t0, 2
+	add  t5, t5, s2
+	lw   t5, 0(t5)
+	add  t4, t4, t5
+	mv   a5, a4             # e=d; d=c; c=rotl30(b); b=a; a=temp
+	mv   a4, a3
+	slli t5, a2, 30
+	srli t6, a2, 2
+	or   a3, t5, t6
+	mv   a2, a1
+	mv   a1, t4
+	addi t0, t0, 1
+	li   t1, 80
+	blt  t0, t1, round
+	add  s3, s3, a1
+	add  s4, s4, a2
+	add  s5, s5, a3
+	add  s6, s6, a4
+	add  s7, s7, a5
+	addi s8, s8, 1
+	addi s0, s0, 64
+	blt  s8, s1, blk
+	xor  a0, s3, s4
+	xor  a0, a0, s5
+	xor  a0, a0, s6
+	xor  a0, a0, s7
+	ecall
+`
+
+// shaMessage builds the raw message bytes.
+func shaMessage(sz Size) []byte {
+	return newRNG(0x5a1).bytes(shaMsgLen(sz))
+}
+
+// shaPadded returns the SHA-1-padded message as big-endian-converted words
+// ready for little-endian lw, plus the block count.
+func shaPadded(sz Size) ([]uint32, int) {
+	msg := shaMessage(sz)
+	bitLen := uint64(len(msg)) * 8
+	padded := append([]byte{}, msg...)
+	padded = append(padded, 0x80)
+	for len(padded)%64 != 56 {
+		padded = append(padded, 0)
+	}
+	var lenBytes [8]byte
+	binary.BigEndian.PutUint64(lenBytes[:], bitLen)
+	padded = append(padded, lenBytes[:]...)
+
+	words := make([]uint32, len(padded)/4)
+	for i := range words {
+		words[i] = binary.BigEndian.Uint32(padded[i*4:])
+	}
+	return words, len(padded) / 64
+}
+
+func newSHA() *Benchmark {
+	l := newLayout()
+	maxWords, _ := shaPadded(Large)
+	l.alloc("params", 8)
+	l.alloc("wbuf", 80*4)
+	l.alloc("msg", uint32(len(maxWords))*4)
+
+	return register(&Benchmark{
+		Name:        "sha",
+		Description: "SHA-1 compression over a padded message stream",
+		Source:      shaSrc,
+		Symbols:     l.symbols,
+		Setup: func(m *gpp.Memory, sz Size) error {
+			words, blocks := shaPadded(sz)
+			if err := m.StoreWord(l.symbols["params"], uint32(blocks)); err != nil {
+				return err
+			}
+			return m.WriteWords(l.symbols["msg"], words)
+		},
+		Check: func(_ *gpp.Memory, result uint32, sz Size) error {
+			digest := sha1.Sum(shaMessage(sz))
+			var want uint32
+			for i := 0; i < 5; i++ {
+				want ^= binary.BigEndian.Uint32(digest[i*4:])
+			}
+			if result != want {
+				return fmt.Errorf("sha checksum = %#x, want %#x", result, want)
+			}
+			return nil
+		},
+		MaxInstructions: 50_000_000,
+	})
+}
+
+var _ = newSHA()

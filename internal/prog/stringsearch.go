@@ -1,0 +1,195 @@
+package prog
+
+import (
+	"bytes"
+	"fmt"
+
+	"agingcgra/internal/gpp"
+)
+
+// stringsearchDims returns (text length, pattern count) per size.
+func stringsearchDims(sz Size) (n, pats int) {
+	switch sz {
+	case Tiny:
+		return 768, 4
+	case Large:
+		return 32768, 16
+	default:
+		return 4096, 10
+	}
+}
+
+const stringsearchSrc = `
+# stringsearch: Boyer-Moore-Horspool search of several patterns over one
+# text, as in MiBench's stringsearch (bmhsearch). For each pattern the
+# kernel builds the 256-entry bad-character skip table, then scans.
+# Checksum: sum over matches of (position + 1).
+_start:
+	la   s0, text
+	la   s1, pats
+	la   s2, plens
+	la   s3, skip
+	la   t0, params
+	lw   s4, 0(t0)          # n = text length
+	lw   s5, 4(t0)          # pattern count
+	li   s6, 0              # pattern index
+	li   s7, 0              # offset of pattern in pats
+	li   a0, 0
+pat_loop:
+	slli t0, s6, 2
+	add  t0, t0, s2
+	lw   s8, 0(t0)          # m = len(pattern)
+	li   t0, 0              # skip[*] = m
+skinit:
+	add  t1, s3, t0
+	sb   s8, 0(t1)
+	addi t0, t0, 1
+	li   t2, 256
+	blt  t0, t2, skinit
+	add  s9, s1, s7         # pattern base
+	li   t0, 0              # skip[pat[i]] = m-1-i for i < m-1
+	addi t2, s8, -1
+skbuild:
+	bge  t0, t2, sksearch
+	add  t1, s9, t0
+	lbu  t1, 0(t1)
+	add  t1, t1, s3
+	sub  t3, t2, t0
+	sb   t3, 0(t1)
+	addi t0, t0, 1
+	j    skbuild
+sksearch:
+	li   t0, 0              # window position i
+	sub  t4, s4, s8         # last valid position
+search:
+	bgt  t0, t4, pat_done
+	addi t5, s8, -1         # j = m-1, compare backwards
+cmp:
+	bltz t5, match
+	add  t6, t0, t5
+	add  t6, t6, s0
+	lbu  t6, 0(t6)
+	add  a1, s9, t5
+	lbu  a1, 0(a1)
+	bne  t6, a1, shift
+	addi t5, t5, -1
+	j    cmp
+match:
+	add  a0, a0, t0         # checksum += i + 1
+	addi a0, a0, 1
+shift:
+	add  t6, t0, s8         # i += skip[text[i+m-1]]
+	addi t6, t6, -1
+	add  t6, t6, s0
+	lbu  t6, 0(t6)
+	add  t6, t6, s3
+	lbu  t6, 0(t6)
+	add  t0, t0, t6
+	j    search
+pat_done:
+	add  s7, s7, s8
+	addi s6, s6, 1
+	blt  s6, s5, pat_loop
+	ecall
+`
+
+// stringsearchText builds a text over a small alphabet so that partial
+// matches (and hence interesting skip behaviour) are frequent.
+func stringsearchText(sz Size) []byte {
+	n, _ := stringsearchDims(sz)
+	alphabet := []byte("abcdehlnorst ")
+	r := newRNG(0x57215)
+	text := make([]byte, n)
+	for i := range text {
+		text[i] = alphabet[r.intn(len(alphabet))]
+	}
+	return text
+}
+
+// stringsearchPatterns builds the pattern list: half sampled from the text
+// (guaranteed hits), half random (mostly misses).
+func stringsearchPatterns(sz Size) [][]byte {
+	n, pats := stringsearchDims(sz)
+	text := stringsearchText(sz)
+	alphabet := []byte("abcdehlnorst ")
+	r := newRNG(0x9a77e2)
+	out := make([][]byte, 0, pats)
+	for i := 0; i < pats; i++ {
+		m := 3 + r.intn(6)
+		if i%2 == 0 {
+			start := r.intn(n - m)
+			p := make([]byte, m)
+			copy(p, text[start:start+m])
+			out = append(out, p)
+		} else {
+			p := make([]byte, m)
+			for j := range p {
+				p[j] = alphabet[r.intn(len(alphabet))]
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func stringsearchRef(sz Size) uint32 {
+	text := stringsearchText(sz)
+	var sum uint32
+	for _, pat := range stringsearchPatterns(sz) {
+		for i := 0; i+len(pat) <= len(text); i++ {
+			if bytes.Equal(text[i:i+len(pat)], pat) {
+				sum += uint32(i) + 1
+			}
+		}
+	}
+	return sum
+}
+
+func newStringsearch() *Benchmark {
+	l := newLayout()
+	nMax, patsMax := stringsearchDims(Large)
+	l.alloc("params", 8)
+	l.alloc("skip", 256)
+	l.alloc("plens", uint32(patsMax)*4)
+	l.alloc("pats", uint32(patsMax)*16)
+	l.alloc("text", uint32(nMax))
+
+	return register(&Benchmark{
+		Name:        "stringsearch",
+		Description: "Boyer-Moore-Horspool multi-pattern text search",
+		Source:      stringsearchSrc,
+		Symbols:     l.symbols,
+		Setup: func(m *gpp.Memory, sz Size) error {
+			n, _ := stringsearchDims(sz)
+			pats := stringsearchPatterns(sz)
+			if err := m.StoreWord(l.symbols["params"], uint32(n)); err != nil {
+				return err
+			}
+			if err := m.StoreWord(l.symbols["params"]+4, uint32(len(pats))); err != nil {
+				return err
+			}
+			lens := make([]uint32, len(pats))
+			var cat []byte
+			for i, p := range pats {
+				lens[i] = uint32(len(p))
+				cat = append(cat, p...)
+			}
+			if err := m.WriteWords(l.symbols["plens"], lens); err != nil {
+				return err
+			}
+			if err := m.WriteBytes(l.symbols["pats"], cat); err != nil {
+				return err
+			}
+			return m.WriteBytes(l.symbols["text"], stringsearchText(sz))
+		},
+		Check: func(_ *gpp.Memory, result uint32, sz Size) error {
+			if want := stringsearchRef(sz); result != want {
+				return fmt.Errorf("stringsearch checksum = %d, want %d", result, want)
+			}
+			return nil
+		},
+		MaxInstructions: 50_000_000,
+	})
+}
+
+var _ = newStringsearch()

@@ -1,0 +1,477 @@
+package prog
+
+import (
+	"fmt"
+	"math"
+
+	"agingcgra/internal/gpp"
+)
+
+// susanDims returns the image dimensions per size.
+func susanDims(sz Size) (w, h int) {
+	switch sz {
+	case Tiny:
+		return 24, 18
+	case Large:
+		return 96, 72
+	default:
+		return 48, 36
+	}
+}
+
+// susanBorder is the border skipped by the circular mask.
+const susanBorder = 3
+
+// susanBrightnessThreshold is SUSAN's brightness difference threshold t.
+const susanBrightnessThreshold = 20.0
+
+// susanCornerThresholdOf and susanEdgeThresholdOf derive the geometric
+// thresholds from the 37-pixel mask with similarity scaled to 0..100.
+const (
+	susanCornerThreshold = 37 * 100 / 2     // = 1850
+	susanEdgeThreshold   = 37 * 100 * 3 / 4 // = 2775
+)
+
+// susanMaskOffsets returns the classic 37-pixel circular USAN mask as
+// (dy, dx) pairs, row half-widths 1,2,3,3,3,2,1.
+func susanMaskOffsets() [][2]int {
+	halfWidths := []int{1, 2, 3, 3, 3, 2, 1}
+	var out [][2]int
+	for i, hw := range halfWidths {
+		dy := i - 3
+		for dx := -hw; dx <= hw; dx++ {
+			out = append(out, [2]int{dy, dx})
+		}
+	}
+	return out
+}
+
+// susanSimTable builds the 511-entry brightness similarity LUT
+// sim[255+d] = round(100 * exp(-((d/t)^6))), the standard SUSAN form.
+func susanSimTable() []byte {
+	tab := make([]byte, 511)
+	for i := range tab {
+		d := float64(i - 255)
+		x := d / susanBrightnessThreshold
+		tab[i] = byte(math.Round(100 * math.Exp(-math.Pow(x, 6))))
+	}
+	return tab
+}
+
+// susanImage builds a deterministic grayscale test image: a smooth gradient
+// with rectangles (corners and edges) plus mild noise.
+func susanImage(sz Size) []byte {
+	w, h := susanDims(sz)
+	r := newRNG(0x5a5a ^ (0x1000 + uint32(w)))
+	img := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 40 + (x*100)/w + (y*60)/h
+			img[y*w+x] = byte(v)
+		}
+	}
+	// Bright and dark rectangles create strong corners and edges.
+	fill := func(x0, y0, x1, y1, val int) {
+		for y := y0; y < y1 && y < h; y++ {
+			for x := x0; x < x1 && x < w; x++ {
+				img[y*w+x] = byte(val)
+			}
+		}
+	}
+	fill(w/6, h/6, w/2, h/2, 220)
+	fill(w/2+2, h/3, w-w/6, h-h/4, 15)
+	fill(w/3, h/2+3, w/3+w/4, h/2+3+h/5, 128)
+	for i := range img {
+		img[i] = byte(int(img[i]) + r.intn(7) - 3)
+	}
+	return img
+}
+
+// susanUSAN computes the USAN value (sum of similarity over the mask) for
+// interior pixel p, shared by the Go references of corners and edges.
+func susanUSAN(img []byte, w int, p int, offsets []int, sim []byte) int {
+	c := int(img[p])
+	n := 0
+	for _, off := range offsets {
+		q := int(img[p+off])
+		n += int(sim[255+q-c])
+	}
+	return n
+}
+
+// susanLinearOffsets converts the (dy,dx) mask to linear pixel offsets for
+// the given image width.
+func susanLinearOffsets(w int) []int {
+	mask := susanMaskOffsets()
+	out := make([]int, len(mask))
+	for i, m := range mask {
+		out[i] = m[0]*w + m[1]
+	}
+	return out
+}
+
+// The corners and edges kernels share the USAN accumulation; they differ in
+// the geometric threshold and response folding, like SUSAN's two detectors.
+const susanCornersSrc = `
+# susan_corners: USAN-based corner response. For each interior pixel,
+# accumulate the brightness-similarity LUT over the 37-pixel circular mask;
+# pixels whose USAN falls below the geometric threshold g contribute (g - n)
+# to the checksum.
+_start:
+	la   s0, img
+	la   s1, ofs            # 37 linear offsets (words)
+	la   s2, simtab         # 511-byte similarity LUT, biased by 255
+	la   t0, params
+	lw   s3, 0(t0)          # width
+	lw   s4, 4(t0)          # height
+	lw   s5, 8(t0)          # threshold g
+	li   a0, 0
+	li   s6, 3              # y
+yloop:
+	addi t0, s4, -3
+	bge  s6, t0, done
+	li   s7, 3              # x
+xloop:
+	addi t0, s3, -3
+	bge  s7, t0, ynext
+	mul  t1, s6, s3         # p = y*w + x
+	add  t1, t1, s7
+	add  t2, t1, s0
+	lbu  s9, 0(t2)          # c = img[p]
+	li   s10, 0             # n = 0
+	li   t3, 0              # k
+mask:
+	slli t4, t3, 2
+	add  t4, t4, s1
+	lw   t4, 0(t4)          # off[k]
+	add  t4, t4, t1
+	add  t4, t4, s0
+	lbu  t4, 0(t4)          # q
+	sub  t4, t4, s9
+	addi t4, t4, 255
+	add  t4, t4, s2
+	lbu  t4, 0(t4)          # sim[255+q-c]
+	add  s10, s10, t4
+	addi t3, t3, 1
+	li   t4, 37
+	blt  t3, t4, mask
+	bge  s10, s5, xnext     # not a corner
+	sub  t4, s5, s10
+	add  a0, a0, t4
+xnext:
+	addi s7, s7, 1
+	j    xloop
+ynext:
+	addi s6, s6, 1
+	j    yloop
+done:
+	ecall
+`
+
+const susanEdgesSrc = `
+# susan_edges: USAN-based edge response. Same mask accumulation as the
+# corner detector but with the higher edge threshold; each edge pixel adds
+# its response plus a 2^16-weighted count to the checksum.
+_start:
+	la   s0, img
+	la   s1, ofs
+	la   s2, simtab
+	la   t0, params
+	lw   s3, 0(t0)          # width
+	lw   s4, 4(t0)          # height
+	lw   s5, 8(t0)          # threshold e
+	li   a0, 0
+	li   s6, 3
+yloop:
+	addi t0, s4, -3
+	bge  s6, t0, done
+	li   s7, 3
+xloop:
+	addi t0, s3, -3
+	bge  s7, t0, ynext
+	mul  t1, s6, s3
+	add  t1, t1, s7
+	add  t2, t1, s0
+	lbu  s9, 0(t2)
+	li   s10, 0
+	li   t3, 0
+mask:
+	slli t4, t3, 2
+	add  t4, t4, s1
+	lw   t4, 0(t4)
+	add  t4, t4, t1
+	add  t4, t4, s0
+	lbu  t4, 0(t4)
+	sub  t4, t4, s9
+	addi t4, t4, 255
+	add  t4, t4, s2
+	lbu  t4, 0(t4)
+	add  s10, s10, t4
+	addi t3, t3, 1
+	li   t4, 37
+	blt  t3, t4, mask
+	bge  s10, s5, xnext
+	sub  t4, s5, s10
+	add  a0, a0, t4
+	li   t4, 0x10000        # edge count in the high half
+	add  a0, a0, t4
+xnext:
+	addi s7, s7, 1
+	j    xloop
+ynext:
+	addi s6, s6, 1
+	j    yloop
+done:
+	ecall
+`
+
+const susanSmoothingSrc = `
+# susan_smoothing: 5x5 weighted smoothing with integer normalisation
+# (multiply-accumulate plus divide), writing the smoothed interior image
+# and folding it into the checksum.
+_start:
+	la   s0, img
+	la   s1, out
+	la   s2, ofs            # 25 linear offsets (words)
+	la   s3, wtab           # 25 weights (bytes)
+	la   t0, params
+	lw   s4, 0(t0)          # width
+	lw   s5, 4(t0)          # height
+	lw   s6, 8(t0)          # weight sum
+	li   a0, 0
+	li   s7, 2              # y (border 2 for the 5x5 kernel)
+yloop:
+	addi t0, s5, -2
+	bge  s7, t0, done
+	li   s8, 2              # x
+xloop:
+	addi t0, s4, -2
+	bge  s8, t0, ynext
+	mul  t1, s7, s4         # p = y*w + x
+	add  t1, t1, s8
+	li   s10, 0             # acc
+	li   t3, 0              # k
+conv:
+	slli t4, t3, 2
+	add  t4, t4, s2
+	lw   t4, 0(t4)          # off[k]
+	add  t4, t4, t1
+	add  t4, t4, s0
+	lbu  t4, 0(t4)          # pixel
+	add  t5, s3, t3
+	lbu  t5, 0(t5)          # weight
+	mul  t4, t4, t5
+	add  s10, s10, t4
+	addi t3, t3, 1
+	li   t4, 25
+	blt  t3, t4, conv
+	divu s10, s10, s6       # normalise
+	add  t4, t1, s1
+	sb   s10, 0(t4)
+	add  a0, a0, s10
+	addi s8, s8, 1
+	j    xloop
+ynext:
+	addi s7, s7, 1
+	j    yloop
+done:
+	ecall
+`
+
+// susanSmoothWeights is the 5x5 integer kernel (binomial-like).
+func susanSmoothWeights() ([]byte, uint32) {
+	w := []byte{
+		1, 2, 3, 2, 1,
+		2, 4, 6, 4, 2,
+		3, 6, 9, 6, 3,
+		2, 4, 6, 4, 2,
+		1, 2, 3, 2, 1,
+	}
+	var sum uint32
+	for _, v := range w {
+		sum += uint32(v)
+	}
+	return w, sum
+}
+
+func susan5x5Offsets(w int) []int {
+	var out []int
+	for dy := -2; dy <= 2; dy++ {
+		for dx := -2; dx <= 2; dx++ {
+			out = append(out, dy*w+dx)
+		}
+	}
+	return out
+}
+
+// susanCornersRef / susanEdgesRef / susanSmoothingRef are the independent
+// Go recomputations of each kernel's checksum.
+func susanCornersRef(sz Size) uint32 {
+	w, h := susanDims(sz)
+	img := susanImage(sz)
+	offs := susanLinearOffsets(w)
+	sim := susanSimTable()
+	var sum uint32
+	for y := susanBorder; y < h-susanBorder; y++ {
+		for x := susanBorder; x < w-susanBorder; x++ {
+			n := susanUSAN(img, w, y*w+x, offs, sim)
+			if n < susanCornerThreshold {
+				sum += uint32(susanCornerThreshold - n)
+			}
+		}
+	}
+	return sum
+}
+
+func susanEdgesRef(sz Size) uint32 {
+	w, h := susanDims(sz)
+	img := susanImage(sz)
+	offs := susanLinearOffsets(w)
+	sim := susanSimTable()
+	var sum uint32
+	for y := susanBorder; y < h-susanBorder; y++ {
+		for x := susanBorder; x < w-susanBorder; x++ {
+			n := susanUSAN(img, w, y*w+x, offs, sim)
+			if n < susanEdgeThreshold {
+				sum += uint32(susanEdgeThreshold-n) + 0x10000
+			}
+		}
+	}
+	return sum
+}
+
+func susanSmoothingRef(sz Size) (uint32, []byte) {
+	w, h := susanDims(sz)
+	img := susanImage(sz)
+	offs := susan5x5Offsets(w)
+	weights, wsum := susanSmoothWeights()
+	out := make([]byte, w*h)
+	var sum uint32
+	for y := 2; y < h-2; y++ {
+		for x := 2; x < w-2; x++ {
+			p := y*w + x
+			var acc uint32
+			for k, off := range offs {
+				acc += uint32(img[p+off]) * uint32(weights[k])
+			}
+			v := acc / wsum
+			out[p] = byte(v)
+			sum += v
+		}
+	}
+	return sum, out
+}
+
+func newSusanCommon(name, desc, src string, threshold uint32, ref func(Size) uint32) *Benchmark {
+	l := newLayout()
+	wMax, hMax := susanDims(Large)
+	l.alloc("params", 16)
+	l.alloc("simtab", 511)
+	l.alloc("ofs", 37*4)
+	l.alloc("img", uint32(wMax*hMax))
+
+	return register(&Benchmark{
+		Name:        name,
+		Description: desc,
+		Source:      src,
+		Symbols:     l.symbols,
+		Setup: func(m *gpp.Memory, sz Size) error {
+			w, h := susanDims(sz)
+			p := l.symbols["params"]
+			for i, v := range []uint32{uint32(w), uint32(h), threshold} {
+				if err := m.StoreWord(p+uint32(i)*4, v); err != nil {
+					return err
+				}
+			}
+			if err := m.WriteBytes(l.symbols["simtab"], susanSimTable()); err != nil {
+				return err
+			}
+			offs := susanLinearOffsets(w)
+			words := make([]uint32, len(offs))
+			for i, o := range offs {
+				words[i] = uint32(int32(o))
+			}
+			if err := m.WriteWords(l.symbols["ofs"], words); err != nil {
+				return err
+			}
+			return m.WriteBytes(l.symbols["img"], susanImage(sz))
+		},
+		Check: func(_ *gpp.Memory, result uint32, sz Size) error {
+			if want := ref(sz); result != want {
+				return fmt.Errorf("%s checksum = %#x, want %#x", name, result, want)
+			}
+			return nil
+		},
+		MaxInstructions: 100_000_000,
+	})
+}
+
+func newSusanSmoothing() *Benchmark {
+	l := newLayout()
+	wMax, hMax := susanDims(Large)
+	l.alloc("params", 16)
+	l.alloc("wtab", 32)
+	l.alloc("ofs", 25*4)
+	l.alloc("img", uint32(wMax*hMax))
+	l.alloc("out", uint32(wMax*hMax))
+
+	return register(&Benchmark{
+		Name:        "susan_smoothing",
+		Description: "5x5 weighted image smoothing with integer normalisation",
+		Source:      susanSmoothingSrc,
+		Symbols:     l.symbols,
+		Setup: func(m *gpp.Memory, sz Size) error {
+			w, h := susanDims(sz)
+			weights, wsum := susanSmoothWeights()
+			p := l.symbols["params"]
+			for i, v := range []uint32{uint32(w), uint32(h), wsum} {
+				if err := m.StoreWord(p+uint32(i)*4, v); err != nil {
+					return err
+				}
+			}
+			if err := m.WriteBytes(l.symbols["wtab"], weights); err != nil {
+				return err
+			}
+			offs := susan5x5Offsets(w)
+			words := make([]uint32, len(offs))
+			for i, o := range offs {
+				words[i] = uint32(int32(o))
+			}
+			if err := m.WriteWords(l.symbols["ofs"], words); err != nil {
+				return err
+			}
+			return m.WriteBytes(l.symbols["img"], susanImage(sz))
+		},
+		Check: func(m *gpp.Memory, result uint32, sz Size) error {
+			w, h := susanDims(sz)
+			want, refOut := susanSmoothingRef(sz)
+			if result != want {
+				return fmt.Errorf("susan_smoothing checksum = %#x, want %#x", result, want)
+			}
+			got, err := m.ReadBytes(addrOf(l, "out"), w*h)
+			if err != nil {
+				return err
+			}
+			for y := 2; y < h-2; y++ {
+				for x := 2; x < w-2; x++ {
+					if got[y*w+x] != refOut[y*w+x] {
+						return fmt.Errorf("susan_smoothing out[%d,%d] = %d, want %d",
+							y, x, got[y*w+x], refOut[y*w+x])
+					}
+				}
+			}
+			return nil
+		},
+		MaxInstructions: 100_000_000,
+	})
+}
+
+var (
+	_ = newSusanCommon("susan_corners",
+		"USAN circular-mask corner detection",
+		susanCornersSrc, susanCornerThreshold, susanCornersRef)
+	_ = newSusanCommon("susan_edges",
+		"USAN circular-mask edge detection",
+		susanEdgesSrc, susanEdgeThreshold, susanEdgesRef)
+	_ = newSusanSmoothing()
+)

@@ -1,0 +1,170 @@
+// Package report renders experiment results in the shapes the paper's
+// figures and tables use: per-FU utilization heat maps (Figs. 1 and 7),
+// aligned text tables (Tables I and II), and CSV series for the scatter
+// and density plots (Figs. 6 and 8).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"agingcgra/internal/core"
+	"agingcgra/internal/stats"
+)
+
+// Heatmap renders a utilization map as rows of percentages, row 1 on top,
+// like the paper's Fig. 1/7 grids.
+func Heatmap(u *core.UtilizationMap) string {
+	var b strings.Builder
+	g := u.Geom
+	b.WriteString("      ")
+	for c := 0; c < g.Cols; c++ {
+		fmt.Fprintf(&b, " C%-3d", c+1)
+	}
+	b.WriteByte('\n')
+	for r := 0; r < g.Rows; r++ {
+		fmt.Fprintf(&b, "  R%-2d ", r+1)
+		for c := 0; c < g.Cols; c++ {
+			fmt.Fprintf(&b, " %3.0f%%", 100*u.At(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// HeatmapComparison renders two maps (e.g. baseline vs proposed) stacked,
+// like Fig. 7.
+func HeatmapComparison(titleA string, a *core.UtilizationMap, titleB string, b *core.UtilizationMap) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s", titleA, Heatmap(a))
+	fmt.Fprintf(&sb, "%s\n%s", titleB, Heatmap(b))
+	return sb.String()
+}
+
+// Table renders an aligned text table with a header row.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV writes rows as comma-separated values. Cells containing commas
+// or quotes are quoted.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeLine := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := writeLine(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := writeLine(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UtilizationPDF renders a textual density plot of FU utilizations: the
+// Fig. 8 (top) panels.
+func UtilizationPDF(title string, duty []float64, bins int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	hist := stats.Histogram(duty, bins, 0, 1)
+	maxFrac := 0.0
+	for _, h := range hist {
+		if h.Frac > maxFrac {
+			maxFrac = h.Frac
+		}
+	}
+	for _, h := range hist {
+		barLen := 0
+		if maxFrac > 0 {
+			barLen = int(40 * h.Frac / maxFrac)
+		}
+		fmt.Fprintf(&b, "  %4.0f%%-%3.0f%% |%-40s| %5.1f%%\n",
+			100*h.Lo, 100*h.Hi, strings.Repeat("#", barLen), 100*h.Frac)
+	}
+	return b.String()
+}
+
+// Sparkline renders values as a compact unicode bar string, used in
+// delay-over-time summaries.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	maxV := xs[0]
+	for _, x := range xs {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		i := 0
+		if maxV > 0 {
+			i = int(x / maxV * float64(len(levels)-1))
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(levels) {
+			i = len(levels) - 1
+		}
+		b.WriteRune(levels[i])
+	}
+	return b.String()
+}

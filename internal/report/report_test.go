@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"agingcgra/internal/core"
+	"agingcgra/internal/fabric"
+)
+
+func testMap(t *testing.T) *core.UtilizationMap {
+	t.Helper()
+	g := fabric.NewGeometry(2, 4)
+	tr := core.NewTracker(g)
+	tr.Record([]fabric.Cell{{Row: 0, Col: 0}, {Row: 0, Col: 1}}, fabric.Offset{}, 10)
+	tr.Record([]fabric.Cell{{Row: 0, Col: 0}}, fabric.Offset{}, 10)
+	return tr.Utilization()
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap(testMap(t))
+	if !strings.Contains(out, "R1") || !strings.Contains(out, "C4") {
+		t.Errorf("missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "100%") {
+		t.Errorf("expected a 100%% cell:\n%s", out)
+	}
+	if !strings.Contains(out, " 50%") {
+		t.Errorf("expected a 50%% cell:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("expected header + 2 rows, got %d lines", lines)
+	}
+}
+
+func TestHeatmapComparison(t *testing.T) {
+	u := testMap(t)
+	out := HeatmapComparison("Baseline", u, "Proposed", u)
+	if !strings.Contains(out, "Baseline") || !strings.Contains(out, "Proposed") {
+		t.Error("missing titles")
+	}
+	if strings.Count(out, "R1") != 2 {
+		t.Error("expected two stacked heatmaps")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := &Table{Header: []string{"Scenario", "Improvement"}}
+	tab.AddRow("BE", "2.29x")
+	tab.AddRow("BP", "4.37x")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Scenario") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Error("missing separator")
+	}
+	// Alignment: all rows equal width prefix columns.
+	if !strings.Contains(lines[2], "BE        2.29x") {
+		t.Errorf("row misaligned: %q", lines[2])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"a", "b"}, [][]string{
+		{"1", "plain"},
+		{"2", `with,comma and "quote"`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "a,b\n") {
+		t.Error("missing header line")
+	}
+	if !strings.Contains(out, `"with,comma and ""quote"""`) {
+		t.Errorf("bad escaping:\n%s", out)
+	}
+}
+
+func TestUtilizationPDF(t *testing.T) {
+	out := UtilizationPDF("BE baseline", []float64{0.1, 0.1, 0.9}, 10)
+	if !strings.Contains(out, "BE baseline") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("missing bars")
+	}
+	if strings.Count(out, "\n") != 11 {
+		t.Errorf("want 10 bins + title:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty input should render empty")
+	}
+	s := Sparkline([]float64{0, 0.5, 1})
+	if len([]rune(s)) != 3 {
+		t.Errorf("sparkline runes = %d, want 3", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] >= runes[2] {
+		t.Error("sparkline should rise with values")
+	}
+}

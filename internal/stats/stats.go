@@ -1,0 +1,157 @@
+// Package stats provides the small statistics toolkit the experiment
+// reports need: summary statistics, histograms and Gaussian kernel density
+// estimates over per-FU utilization values (the probability density plots
+// of Fig. 7 and Fig. 8), plus dispersion measures used by the ablation
+// benches to compare movement patterns.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics.
+type Summary struct {
+	N        int
+	Mean     float64
+	Min, Max float64
+	StdDev   float64
+	Median   float64
+}
+
+// Summarize computes a Summary over xs; zero value for empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// CoV returns the coefficient of variation (stddev/mean), the flatness
+// metric used to compare allocation strategies; 0 for degenerate input.
+func CoV(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev / s.Mean
+}
+
+// Gini returns the Gini coefficient of xs (0 = perfectly balanced
+// utilization, 1 = maximally concentrated).
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, x := range sorted {
+		cum += x * float64(2*(i+1)-n-1)
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return cum / (float64(n) * total)
+}
+
+// HistogramBin is one bin of a histogram.
+type HistogramBin struct {
+	// Lo and Hi bound the bin: [Lo, Hi).
+	Lo, Hi float64
+	// Count is the number of samples in the bin.
+	Count int
+	// Frac is Count normalised by the total sample count.
+	Frac float64
+}
+
+// Histogram bins xs into n equal-width bins over [lo, hi]; the last bin is
+// closed. Samples outside the range are clamped into the edge bins.
+func Histogram(xs []float64, n int, lo, hi float64) []HistogramBin {
+	if n < 1 || hi <= lo {
+		return nil
+	}
+	bins := make([]HistogramBin, n)
+	w := (hi - lo) / float64(n)
+	for i := range bins {
+		bins[i].Lo = lo + float64(i)*w
+		bins[i].Hi = bins[i].Lo + w
+	}
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		bins[i].Count++
+	}
+	if len(xs) > 0 {
+		for i := range bins {
+			bins[i].Frac = float64(bins[i].Count) / float64(len(xs))
+		}
+	}
+	return bins
+}
+
+// KDEPoint is one sample of a kernel density estimate.
+type KDEPoint struct {
+	X, Density float64
+}
+
+// KDE computes a Gaussian kernel density estimate of xs sampled at n
+// evenly spaced points over [lo, hi]. A non-positive bandwidth selects
+// Silverman's rule of thumb.
+func KDE(xs []float64, n int, lo, hi, bandwidth float64) []KDEPoint {
+	if len(xs) == 0 || n < 2 || hi <= lo {
+		return nil
+	}
+	h := bandwidth
+	if h <= 0 {
+		s := Summarize(xs)
+		h = 1.06 * s.StdDev * math.Pow(float64(len(xs)), -0.2)
+		if h <= 0 {
+			h = (hi - lo) / float64(n)
+		}
+	}
+	out := make([]KDEPoint, n)
+	norm := 1 / (float64(len(xs)) * h * math.Sqrt(2*math.Pi))
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		var d float64
+		for _, xi := range xs {
+			z := (x - xi) / h
+			d += math.Exp(-0.5 * z * z)
+		}
+		out[i] = KDEPoint{X: x, Density: d * norm}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	if s.Median != 2.5 {
+		t.Errorf("median = %v", s.Median)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %v", odd.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty input should give zero summary")
+	}
+}
+
+func TestCoV(t *testing.T) {
+	if CoV([]float64{2, 2, 2}) != 0 {
+		t.Error("constant data must have zero CoV")
+	}
+	if CoV([]float64{0, 0}) != 0 {
+		t.Error("zero mean must not divide by zero")
+	}
+	if CoV([]float64{1, 3}) <= 0 {
+		t.Error("dispersed data must have positive CoV")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); math.Abs(g) > 1e-12 {
+		t.Errorf("uniform gini = %v, want 0", g)
+	}
+	// All mass on one element of n: gini = (n-1)/n.
+	if g := Gini([]float64{0, 0, 0, 8}); math.Abs(g-0.75) > 1e-12 {
+		t.Errorf("concentrated gini = %v, want 0.75", g)
+	}
+	if Gini(nil) != 0 || Gini([]float64{0, 0}) != 0 {
+		t.Error("degenerate inputs must give 0")
+	}
+	// Permutation invariance.
+	a := Gini([]float64{1, 5, 2, 9})
+	b := Gini([]float64{9, 2, 5, 1})
+	if math.Abs(a-b) > 1e-12 {
+		t.Error("gini must be order-invariant")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0.05, 0.15, 0.15, 0.95, 1.2, -0.5}, 10, 0, 1)
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0].Count != 2 { // 0.05 and clamped -0.5
+		t.Errorf("bin0 count = %d, want 2", bins[0].Count)
+	}
+	if bins[1].Count != 2 {
+		t.Errorf("bin1 count = %d, want 2", bins[1].Count)
+	}
+	if bins[9].Count != 2 { // 0.95 and clamped 1.2
+		t.Errorf("bin9 count = %d, want 2", bins[9].Count)
+	}
+	var total float64
+	for _, b := range bins {
+		total += b.Frac
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("fractions sum to %v", total)
+	}
+	if Histogram(nil, 0, 0, 1) != nil || Histogram(nil, 4, 1, 0) != nil {
+		t.Error("degenerate histogram configs must return nil")
+	}
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	xs := []float64{0.2, 0.3, 0.4, 0.41, 0.6}
+	pts := KDE(xs, 400, -1, 2, 0)
+	if len(pts) != 400 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	var integral float64
+	for i := 1; i < len(pts); i++ {
+		dx := pts[i].X - pts[i-1].X
+		integral += (pts[i].Density + pts[i-1].Density) / 2 * dx
+	}
+	if math.Abs(integral-1) > 0.02 {
+		t.Errorf("KDE integrates to %v, want ~1", integral)
+	}
+}
+
+func TestKDEPeaksNearData(t *testing.T) {
+	xs := []float64{0.5, 0.5, 0.5}
+	pts := KDE(xs, 101, 0, 1, 0.05)
+	best := 0
+	for i, p := range pts {
+		if p.Density > pts[best].Density {
+			best = i
+		}
+	}
+	if math.Abs(pts[best].X-0.5) > 0.02 {
+		t.Errorf("KDE peak at %v, want 0.5", pts[best].X)
+	}
+}
+
+func TestKDEDegenerate(t *testing.T) {
+	if KDE(nil, 10, 0, 1, 0) != nil {
+		t.Error("empty data must return nil")
+	}
+	if KDE([]float64{1}, 1, 0, 1, 0) != nil {
+		t.Error("n<2 must return nil")
+	}
+}
+
+// Property: histogram counts always total the sample count.
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		bins := Histogram(xs, 8, 0, 1)
+		total := 0
+		for _, b := range bins {
+			total += b.Count
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Gini is scale-invariant.
+func TestGiniScaleInvariant(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1, float64(d) + 1}
+		ys := make([]float64, len(xs))
+		for i := range xs {
+			ys[i] = xs[i] * 7.5
+		}
+		return math.Abs(Gini(xs)-Gini(ys)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
