@@ -109,6 +109,10 @@ type System struct {
 	geom      Geometry
 	allocName string
 	cacheCap  int
+	// refs memoizes the stand-alone GPP reference runs: the reference is a
+	// pure function of (benchmark, size), so repeated RunBenchmark calls
+	// pay for it once.
+	refs *dse.RefCache
 }
 
 // NewSystem validates the configuration and builds a system.
@@ -130,7 +134,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if cap == 0 {
 		cap = 128
 	}
-	return &System{geom: g, allocName: cfg.Allocator, cacheCap: cap}, nil
+	return &System{geom: g, allocName: cfg.Allocator, cacheCap: cap, refs: dse.NewRefCache()}, nil
 }
 
 // Geometry returns the system's fabric geometry.
@@ -166,14 +170,11 @@ func (s *System) RunBenchmark(name string, size Size) (*RunResult, error) {
 		return nil, fmt.Errorf("agingcgra: unknown benchmark %q (want one of %v)", name, prog.Names())
 	}
 
-	cg, err := b.NewCore(size)
+	ref, err := s.refs.Get(b, size, gpp.DefaultTiming())
 	if err != nil {
 		return nil, err
 	}
-	gppCycles, gppClasses, err := dbt.RunGPPOnly(cg, gpp.DefaultTiming(), b.MaxInstructions)
-	if err != nil {
-		return nil, err
-	}
+	gppCycles, gppClasses := ref.Cycles, ref.Classes
 
 	ct, err := b.NewCore(size)
 	if err != nil {
@@ -219,5 +220,5 @@ func (s *System) RunSuite(size Size) (*SuiteResult, error) {
 		}
 		return a
 	}
-	return dse.RunSuite(s.geom, factory, dse.Options{Size: size})
+	return dse.RunSuite(s.geom, factory, dse.Options{Size: size, Refs: s.refs})
 }

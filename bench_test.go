@@ -34,7 +34,8 @@ func BenchmarkFig1UtilizationHeatmap(b *testing.B) {
 }
 
 // BenchmarkFig6DesignSpace regenerates the 12-point design-space
-// exploration with relative time, energy and occupancy.
+// exploration with relative time, energy and occupancy, using the parallel
+// sweep engine (worker pool over design points, memoized GPP references).
 func BenchmarkFig6DesignSpace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r, err := Fig6(benchOpts())
@@ -49,6 +50,19 @@ func BenchmarkFig6DesignSpace(b *testing.B) {
 			if p.Geom == NewGeometry(8, 32) {
 				b.ReportMetric(p.RelEnergy, "BUrelEnergy")
 			}
+		}
+	}
+}
+
+// BenchmarkFig6DesignSpaceSerial pins the same sweep to a single worker:
+// the parallel/serial ratio of these two benchmarks is the sweep engine's
+// wall-clock speedup on this machine (the outputs are identical).
+func BenchmarkFig6DesignSpaceSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts()
+		opt.Workers = 1
+		if _, err := Fig6(opt); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

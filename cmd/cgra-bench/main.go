@@ -1,0 +1,172 @@
+// cgra-bench measures the simulator's two performance-critical paths — raw
+// co-simulation throughput and the Fig. 6 design-space sweep — and emits a
+// machine-readable JSON report so successive commits can be compared
+// (the BENCH_results.json trajectory in CI).
+//
+// Usage:
+//
+//	cgra-bench                       # default: 5 engine iters, tiny sweep
+//	cgra-bench -o BENCH_results.json -size small -iters 10 -full-sweep
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"agingcgra"
+)
+
+// Result is one measured benchmark in the report.
+type Result struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	InstrsPerSec float64 `json:"instrs_per_sec,omitempty"`
+	SpeedupVs    string  `json:"speedup_vs,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
+}
+
+// Report is the full emitted document.
+type Report struct {
+	Schema    string   `json:"schema"`
+	Timestamp string   `json:"timestamp"`
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	Size      string   `json:"workload_size"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output path ('-' for stdout only)")
+	sizeName := flag.String("size", "tiny", "workload size: tiny, small, large")
+	iters := flag.Int("iters", 5, "engine-throughput iterations")
+	fullSweep := flag.Bool("full-sweep", false, "run the sweep at the chosen size (default sweeps tiny)")
+	flag.Parse()
+
+	size, err := parseSize(*sizeName)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := Report{
+		Schema:    "agingcgra-bench/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Size:      *sizeName,
+	}
+
+	engine, err := benchEngineThroughput(size, *iters)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Results = append(rep.Results, engine)
+
+	sweepSize := agingcgra.Tiny
+	if *fullSweep {
+		sweepSize = size
+	}
+	serial, parallel, err := benchFig6Sweep(sweepSize)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Results = append(rep.Results, serial, parallel)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(blob))
+	if *out != "-" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+// benchEngineThroughput mirrors BenchmarkEngineThroughput: repeated crc32
+// co-simulation on the BE design with the utilization-aware allocator.
+func benchEngineThroughput(size agingcgra.Size, iters int) (Result, error) {
+	s, err := agingcgra.NewSystem(agingcgra.Config{Allocator: "utilization-aware"})
+	if err != nil {
+		return Result{}, err
+	}
+	// Warm-up outside the timed region: assembles the kernel and memoizes
+	// the GPP reference, as the steady state of a long-lived System.
+	if _, err := s.RunBenchmark("crc32", size); err != nil {
+		return Result{}, err
+	}
+	var instrs uint64
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		res, err := s.RunBenchmark("crc32", size)
+		if err != nil {
+			return Result{}, err
+		}
+		instrs += res.Report.TotalInstrs
+	}
+	elapsed := time.Since(start)
+	return Result{
+		Name:         "EngineThroughput/crc32",
+		Iterations:   iters,
+		NsPerOp:      float64(elapsed.Nanoseconds()) / float64(iters),
+		InstrsPerSec: float64(instrs) / elapsed.Seconds(),
+	}, nil
+}
+
+// benchFig6Sweep times the 12-point design-space exploration serially and
+// with the worker pool, reporting the parallel speedup.
+func benchFig6Sweep(size agingcgra.Size) (serial, parallel Result, err error) {
+	// Untimed warm-up so the one-time benchmark assembly cost doesn't land
+	// on whichever timed run goes first and bias the speedup.
+	if _, err := timeFig6(size, 1); err != nil {
+		return Result{}, Result{}, err
+	}
+	time1, err := timeFig6(size, 1)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	timeN, err := timeFig6(size, 0) // 0 = all CPUs
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	serial = Result{Name: "Fig6Sweep/serial", Iterations: 1, NsPerOp: float64(time1.Nanoseconds())}
+	parallel = Result{
+		Name:       "Fig6Sweep/parallel",
+		Iterations: 1,
+		NsPerOp:    float64(timeN.Nanoseconds()),
+		SpeedupVs:  "Fig6Sweep/serial",
+		Speedup:    float64(time1.Nanoseconds()) / float64(timeN.Nanoseconds()),
+	}
+	return serial, parallel, nil
+}
+
+func timeFig6(size agingcgra.Size, workers int) (time.Duration, error) {
+	start := time.Now()
+	if _, err := agingcgra.Fig6(agingcgra.ExperimentOptions{Size: size, Workers: workers}); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+func parseSize(s string) (agingcgra.Size, error) {
+	switch s {
+	case "tiny":
+		return agingcgra.Tiny, nil
+	case "small":
+		return agingcgra.Small, nil
+	case "large":
+		return agingcgra.Large, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cgra-bench:", err)
+	os.Exit(1)
+}

@@ -19,13 +19,14 @@ import (
 func main() {
 	sizeName := flag.String("size", "small", "input size: tiny, small, large")
 	csvPath := flag.String("csv", "", "also write the points as CSV to this file")
+	workers := flag.Int("workers", 0, "parallel design points (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	size, err := parseSize(*sizeName)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := agingcgra.Fig6(agingcgra.ExperimentOptions{Size: size})
+	res, err := agingcgra.Fig6(agingcgra.ExperimentOptions{Size: size, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -29,13 +29,14 @@ var paperImprovements = map[string]float64{"BE": 2.29, "BP": 4.37, "BU": 7.97}
 func main() {
 	sizeName := flag.String("size", "small", "input size: tiny, small, large")
 	exp := flag.String("exp", "all", "experiment: fig1, fig6, fig7, fig8, table1, table2 or all")
+	workers := flag.Int("workers", 0, "parallel design points (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	size, err := parseSize(*sizeName)
 	if err != nil {
 		fatal(err)
 	}
-	opt := agingcgra.ExperimentOptions{Size: size}
+	opt := agingcgra.ExperimentOptions{Size: size, Workers: *workers}
 
 	fmt.Println("Reproduction of: Proactive Aging Mitigation in CGRAs through")
 	fmt.Println("Utilization-Aware Allocation (Brandalero et al., DAC 2020)")

@@ -20,6 +20,20 @@ type ExperimentOptions struct {
 	Size Size
 	// Benchmarks restricts the suite (default: all ten).
 	Benchmarks []string
+	// Workers bounds design-point parallelism: 0 selects runtime.NumCPU,
+	// 1 forces the serial path. Outputs are identical either way.
+	Workers int
+}
+
+// dseOptions lowers the facade options onto the sweep engine, installing a
+// fresh GPP-reference memo shared by every design point of one experiment.
+func (o ExperimentOptions) dseOptions() dse.Options {
+	return dse.Options{
+		Size:       o.Size,
+		Benchmarks: o.Benchmarks,
+		Workers:    o.Workers,
+		Refs:       dse.NewRefCache(),
+	}
 }
 
 // Scenario identifies the paper's three designs of interest.
@@ -49,10 +63,7 @@ type Fig1Result struct {
 // Fig1 runs the motivational analysis on the paper's 4-row, 8-column 1D
 // fabric with the baseline allocator.
 func Fig1(opt ExperimentOptions) (*Fig1Result, error) {
-	res, err := dse.RunSuite(fabric.NewGeometry(4, 8), dse.BaselineFactory, dse.Options{
-		Size:       opt.Size,
-		Benchmarks: opt.Benchmarks,
-	})
+	res, err := dse.RunSuite(fabric.NewGeometry(4, 8), dse.BaselineFactory, opt.dseOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -91,10 +102,7 @@ type Fig6Result struct {
 
 // Fig6 sweeps the 12 fabric sizes with the baseline system.
 func Fig6(opt ExperimentOptions) (*Fig6Result, error) {
-	results, err := dse.Sweep(nil, dse.BaselineFactory, dse.Options{
-		Size:       opt.Size,
-		Benchmarks: opt.Benchmarks,
-	})
+	results, err := dse.Sweep(nil, dse.BaselineFactory, opt.dseOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -149,20 +157,32 @@ type Fig7Result struct {
 
 // Fig7 runs the BE scenario with both allocators.
 func Fig7(opt ExperimentOptions) (*Fig7Result, error) {
-	return scenarioComparison(dse.ScenarioGeometries()[BE], opt)
+	cmps, err := scenarioComparisons([]Geometry{dse.ScenarioGeometries()[BE]}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return cmps[0], nil
 }
 
-func scenarioComparison(g Geometry, opt ExperimentOptions) (*Fig7Result, error) {
-	o := dse.Options{Size: opt.Size, Benchmarks: opt.Benchmarks}
-	base, err := dse.RunSuite(g, dse.BaselineFactory, o)
+// scenarioComparisons runs every geometry with both allocators — one
+// baseline/proposed point pair per geometry — through the parallel sweep
+// engine, sharing one GPP-reference memo across all the points.
+func scenarioComparisons(geoms []Geometry, opt ExperimentOptions) ([]*Fig7Result, error) {
+	points := make([]dse.Point, 0, 2*len(geoms))
+	for _, g := range geoms {
+		points = append(points,
+			dse.Point{Geom: g, Factory: dse.BaselineFactory},
+			dse.Point{Geom: g, Factory: dse.ProposedFactory})
+	}
+	results, err := dse.RunPoints(points, opt.dseOptions())
 	if err != nil {
 		return nil, err
 	}
-	rot, err := dse.RunSuite(g, dse.ProposedFactory, o)
-	if err != nil {
-		return nil, err
+	out := make([]*Fig7Result, len(geoms))
+	for i, g := range geoms {
+		out[i] = &Fig7Result{Geom: g, Baseline: results[2*i], Proposed: results[2*i+1]}
 	}
-	return &Fig7Result{Geom: g, Baseline: base, Proposed: rot}, nil
+	return out, nil
 }
 
 // Render stacks the two heat maps like the figure.
@@ -211,11 +231,13 @@ func Fig8(opt ExperimentOptions) (*Fig8Result, error) {
 	const horizon = 10
 	out := &Fig8Result{HorizonYears: horizon}
 	geoms := dse.ScenarioGeometries()
-	for _, sc := range []Scenario{BE, BP, BU} {
-		cmp, err := scenarioComparison(geoms[sc], opt)
-		if err != nil {
-			return nil, err
-		}
+	scenarios := []Scenario{BE, BP, BU}
+	cmps, err := scenarioComparisons(scenarioGeomList(scenarios, geoms), opt)
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scenarios {
+		cmp := cmps[i]
 		bWorst, _ := cmp.Baseline.Util.Max()
 		pWorst, _ := cmp.Proposed.Util.Max()
 		out.Series = append(out.Series, Fig8Series{
@@ -248,6 +270,14 @@ func (r *Fig8Result) Render() string {
 			100*s.ProposedDelay[len(s.ProposedDelay)-1].Increase)
 	}
 	return b.String()
+}
+
+func scenarioGeomList(scs []Scenario, geoms map[Scenario]Geometry) []Geometry {
+	out := make([]Geometry, len(scs))
+	for i, sc := range scs {
+		out[i] = geoms[sc]
+	}
+	return out
 }
 
 func delayValues(pts []aging.DelayPoint) []float64 {
@@ -288,11 +318,13 @@ func Table1(opt ExperimentOptions) (*Table1Result, error) {
 	model := aging.NewModel()
 	out := &Table1Result{}
 	geoms := dse.ScenarioGeometries()
-	for _, sc := range []Scenario{BE, BP, BU} {
-		cmp, err := scenarioComparison(geoms[sc], opt)
-		if err != nil {
-			return nil, err
-		}
+	scenarios := []Scenario{BE, BP, BU}
+	cmps, err := scenarioComparisons(scenarioGeomList(scenarios, geoms), opt)
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scenarios {
+		cmp := cmps[i]
 		bWorst, _ := cmp.Baseline.Util.Max()
 		pWorst, _ := cmp.Proposed.Util.Max()
 		out.Rows = append(out.Rows, Table1Row{
@@ -413,7 +445,7 @@ func SuiteOnce(g Geometry, allocator string, opt ExperimentOptions) (*SuiteResul
 		}
 		return a
 	}
-	return dse.RunSuite(g, factory, dse.Options{Size: opt.Size, Benchmarks: opt.Benchmarks})
+	return dse.RunSuite(g, factory, opt.dseOptions())
 }
 
 // ValidateSuiteSmall is a convenience used by tests and the repro command:

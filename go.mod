@@ -1,0 +1,3 @@
+module agingcgra
+
+go 1.24

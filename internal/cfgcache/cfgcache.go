@@ -62,6 +62,15 @@ type Cache struct {
 	// eviction candidate.
 	head, tail *entry
 	stats      Stats
+
+	// dense, when non-nil, is a direct translation table over a contiguous
+	// window of word-aligned PCs starting at denseBase: slot (pc-denseBase)/4
+	// holds the resident entry for pc, or nil. The map stays authoritative
+	// (it backs replacement and out-of-window PCs); the dense table is a
+	// probe accelerator the engine attaches over the text segment so the
+	// per-retired-instruction residency checks become one array load.
+	dense     []*entry
+	denseBase uint32
 }
 
 // New builds a cache holding at most capacity configurations.
@@ -85,10 +94,59 @@ func (c *Cache) Len() int { return len(c.entries) }
 // Stats returns the event counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// EnableDense attaches (or re-attaches) a dense translation table covering
+// n word-aligned instructions starting at base — typically the program's
+// text segment. Already-resident in-window configurations are indexed;
+// calling it again with the same window is a no-op so it is cheap to invoke
+// at the top of every run.
+func (c *Cache) EnableDense(base uint32, n int) {
+	if n <= 0 {
+		return
+	}
+	if c.dense != nil && c.denseBase == base && len(c.dense) == n {
+		return
+	}
+	c.denseBase = base
+	c.dense = make([]*entry, n)
+	for pc, e := range c.entries {
+		if i, ok := c.denseSlot(pc); ok {
+			c.dense[i] = e
+		}
+	}
+}
+
+// denseSlot maps pc to its dense-table index, if the table covers it.
+func (c *Cache) denseSlot(pc uint32) (int, bool) {
+	if c.dense == nil {
+		return 0, false
+	}
+	// pc < denseBase wraps to a huge offset and fails the length check.
+	off := pc - c.denseBase
+	if off&3 != 0 {
+		return 0, false
+	}
+	i := int(off >> 2)
+	if i >= len(c.dense) {
+		return 0, false
+	}
+	return i, true
+}
+
+// probe finds the entry for pc without touching stats or recency, through
+// the dense table when it covers pc.
+func (c *Cache) probe(pc uint32) (*entry, bool) {
+	if i, ok := c.denseSlot(pc); ok {
+		e := c.dense[i]
+		return e, e != nil
+	}
+	e, ok := c.entries[pc]
+	return e, ok
+}
+
 // Lookup finds the configuration starting at pc, updating hit/miss counts
 // and (for LRU) recency.
 func (c *Cache) Lookup(pc uint32) (*fabric.Config, bool) {
-	e, ok := c.entries[pc]
+	e, ok := c.probe(pc)
 	if !ok {
 		c.stats.Misses++
 		return nil, false
@@ -102,7 +160,7 @@ func (c *Cache) Lookup(pc uint32) (*fabric.Config, bool) {
 
 // Contains reports residency without touching stats or recency.
 func (c *Cache) Contains(pc uint32) bool {
-	_, ok := c.entries[pc]
+	_, ok := c.probe(pc)
 	return ok
 }
 
@@ -123,6 +181,9 @@ func (c *Cache) Insert(cfg *fabric.Config) {
 	}
 	e := &entry{cfg: cfg}
 	c.entries[cfg.StartPC] = e
+	if i, ok := c.denseSlot(cfg.StartPC); ok {
+		c.dense[i] = e
+	}
 	c.pushFront(e)
 	c.stats.Insertions++
 }
@@ -132,6 +193,9 @@ func (c *Cache) Remove(pc uint32) {
 	if e, ok := c.entries[pc]; ok {
 		c.unlink(e)
 		delete(c.entries, pc)
+		if i, ok := c.denseSlot(pc); ok {
+			c.dense[i] = nil
+		}
 	}
 }
 
@@ -139,6 +203,9 @@ func (c *Cache) Remove(pc uint32) {
 func (c *Cache) Clear() {
 	c.entries = make(map[uint32]*entry, c.capacity)
 	c.head, c.tail = nil, nil
+	if c.dense != nil {
+		clear(c.dense)
+	}
 }
 
 // Configs returns the resident configurations from most to least recent.
@@ -157,6 +224,9 @@ func (c *Cache) evict() {
 	victim := c.tail
 	c.unlink(victim)
 	delete(c.entries, victim.cfg.StartPC)
+	if i, ok := c.denseSlot(victim.cfg.StartPC); ok {
+		c.dense[i] = nil
+	}
 	c.stats.Evictions++
 }
 

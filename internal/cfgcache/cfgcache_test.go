@@ -163,3 +163,81 @@ func TestPolicyString(t *testing.T) {
 		t.Error("unknown policy should format")
 	}
 }
+
+// denseCacheEqual checks every PC in window agrees between dense probes and
+// the authoritative map.
+func denseCacheEqual(t *testing.T, c *Cache, base uint32, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		pc := base + uint32(i)*4
+		_, inMap := c.entries[pc]
+		if got := c.Contains(pc); got != inMap {
+			t.Errorf("pc %#x: dense Contains=%v, map residency=%v", pc, got, inMap)
+		}
+	}
+}
+
+func TestDenseTableTracksMutations(t *testing.T) {
+	const base, window = 0x1000, 64
+	c := New(4, LRU)
+	c.Insert(cfg(base))            // resident before the table exists
+	c.EnableDense(base, window)    // must index existing entries
+	denseCacheEqual(t, c, base, window)
+
+	for _, pc := range []uint32{base + 8, base + 16, base + 24, base + 32} {
+		c.Insert(cfg(pc)) // last insert evicts base through the dense slot
+	}
+	denseCacheEqual(t, c, base, window)
+	if c.Contains(base) {
+		t.Error("evicted entry still visible through dense table")
+	}
+
+	c.Remove(base + 16)
+	denseCacheEqual(t, c, base, window)
+
+	if _, ok := c.Lookup(base + 8); !ok {
+		t.Error("dense lookup missed a resident entry")
+	}
+	if _, ok := c.Lookup(base + 16); ok {
+		t.Error("dense lookup hit a removed entry")
+	}
+
+	c.Clear()
+	denseCacheEqual(t, c, base, window)
+	if c.Len() != 0 {
+		t.Errorf("len after clear = %d", c.Len())
+	}
+
+	// Out-of-window and misaligned PCs fall back to the map path.
+	out := base + uint32(window)*4 + 100
+	c.Insert(cfg(out))
+	if !c.Contains(out) {
+		t.Error("out-of-window entry lost")
+	}
+	if c.Contains(base + 2) {
+		t.Error("misaligned pc reported resident")
+	}
+}
+
+func TestDenseLookupKeepsStatsAndRecency(t *testing.T) {
+	const base = 0x1000
+	plain := New(2, LRU)
+	dense := New(2, LRU)
+	dense.EnableDense(base, 32)
+	ops := func(c *Cache) Stats {
+		c.Insert(cfg(base))
+		c.Insert(cfg(base + 4))
+		c.Lookup(base)     // hit; moves base to front
+		c.Lookup(base + 8) // miss
+		c.Insert(cfg(base + 8))
+		// base+4 was least recent, must have been evicted.
+		c.Lookup(base + 4)
+		return c.Stats()
+	}
+	if a, b := ops(plain), ops(dense); a != b {
+		t.Errorf("stats diverge: plain %+v dense %+v", a, b)
+	}
+	if plain.Contains(base+4) || dense.Contains(base+4) {
+		t.Error("LRU recency diverged from expectation")
+	}
+}

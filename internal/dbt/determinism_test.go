@@ -1,0 +1,237 @@
+package dbt
+
+import (
+	"reflect"
+	"testing"
+
+	"agingcgra/internal/alloc"
+	"agingcgra/internal/cfgcache"
+	"agingcgra/internal/core"
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/gpp"
+	"agingcgra/internal/isa"
+	"agingcgra/internal/mapper"
+	"agingcgra/internal/prog"
+)
+
+// naiveEngine is an independent reference implementation of the TransRec
+// co-simulation, transcribed from the original (pre-optimization) engine:
+// per-instruction map probes through the plain cfgcache API, per-op replay
+// accounting, and switch-dispatched timing attribution. The optimized
+// Engine must produce bit-identical Reports against it on every workload.
+type naiveEngine struct {
+	opts  Options
+	cache *cfgcache.Cache
+	ctrl  *core.Controller
+
+	trace []mapper.TraceEntry
+
+	residentPC  uint32
+	residentOff fabric.Offset
+	hasResident bool
+
+	rep Report
+}
+
+func newNaiveEngine(opts Options) (*naiveEngine, error) {
+	opts.applyDefaults()
+	if err := opts.Geom.Validate(); err != nil {
+		return nil, err
+	}
+	ctrl, err := core.NewController(opts.Geom, opts.Allocator)
+	if err != nil {
+		return nil, err
+	}
+	return &naiveEngine{
+		opts:  opts,
+		cache: cfgcache.New(opts.CacheCapacity, opts.CachePolicy),
+		ctrl:  ctrl,
+	}, nil
+}
+
+func (e *naiveEngine) run(c *gpp.Core, limit uint64) (*Report, error) {
+	for !c.Halted() {
+		if c.RetiredCount() >= limit {
+			return nil, errLimit
+		}
+		if cfg, ok := e.cache.Lookup(c.PC); ok {
+			e.finalizeTrace()
+			if err := e.offload(c, cfg); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		r, err := c.Step()
+		if err != nil {
+			return nil, err
+		}
+		e.rep.GPPCycles += e.opts.Timing.CyclesFor(r.Inst, r.Taken)
+		e.rep.GPPInstrs++
+		e.rep.GPPClasses[r.Inst.Op.Class()]++
+		e.observe(r)
+	}
+	e.finalizeTrace()
+	e.rep.Geom = e.opts.Geom
+	e.rep.AllocatorName = e.ctrl.Allocator().Name()
+	e.rep.TotalCycles = e.rep.GPPCycles + e.rep.CGRACycles
+	e.rep.TotalInstrs = e.rep.GPPInstrs + e.rep.CGRAInstrs
+	e.rep.Cache = e.cache.Stats()
+	e.rep.Util = e.ctrl.Utilization()
+	rep := e.rep
+	return &rep, nil
+}
+
+var errLimit = &limitError{}
+
+type limitError struct{}
+
+func (*limitError) Error() string { return "naive: instruction limit reached" }
+
+func (e *naiveEngine) offload(c *gpp.Core, cfg *fabric.Config) error {
+	off := e.ctrl.Place(cfg)
+
+	exitSeq := cfg.Ops[0].Seq
+	early := false
+	for _, op := range cfg.Ops {
+		if c.PC != op.PC {
+			early = true
+			break
+		}
+		r, err := c.Step()
+		if err != nil {
+			return err
+		}
+		e.rep.CGRAInstrs++
+		e.rep.CGRAClasses[op.Inst.Op.Class()]++
+		exitSeq = op.Seq
+		if op.Inst.IsBranch() && r.Taken != op.Taken {
+			early = true
+			break
+		}
+	}
+
+	execCycles := cfg.ExecCyclesTo(exitSeq)
+	overhead := e.opts.OffloadOverhead
+	var reconfig uint64
+	if !e.hasResident || e.residentPC != cfg.StartPC || e.residentOff != off {
+		if e.opts.ExposeReconfig {
+			if rc := e.opts.Geom.ReconfigCycles(); rc > overhead {
+				reconfig = rc - overhead
+			}
+		}
+		e.residentPC, e.residentOff, e.hasResident = cfg.StartPC, off, true
+		e.rep.ReconfigEvents++
+	}
+	duration := overhead + reconfig + execCycles
+	e.ctrl.Commit(cfg, off, duration)
+
+	e.rep.StressSum += uint64(len(cfg.Cells())) * duration
+	e.rep.CGRACycles += duration
+	e.rep.OverheadCycles += overhead
+	e.rep.ReconfigCycles += reconfig
+	e.rep.Offloads++
+	if early {
+		e.rep.EarlyExits++
+	}
+	return nil
+}
+
+func (e *naiveEngine) observe(r gpp.Retire) {
+	e.trace = append(e.trace, mapper.TraceEntry{PC: r.PC, Inst: r.Inst, Taken: r.Taken})
+	backEdge := r.Taken && r.Inst.IsControl() && r.Inst.Imm < 0
+	terminator := r.Inst.Op == isa.JALR ||
+		r.Inst.Op == isa.ECALL ||
+		backEdge ||
+		len(e.trace) >= e.opts.MaxTraceLen ||
+		e.cache.Contains(r.NextPC)
+	if terminator {
+		e.finalizeTrace()
+	}
+}
+
+func (e *naiveEngine) finalizeTrace() {
+	if len(e.trace) < e.opts.MinOps {
+		e.trace = e.trace[:0]
+		return
+	}
+	cfg, consumed := mapper.Map(e.trace, mapper.Options{
+		Geom: e.opts.Geom,
+		Lat:  e.opts.Lat,
+	})
+	e.trace = e.trace[:0]
+	if cfg == nil || consumed < e.opts.MinOps {
+		return
+	}
+	if !e.opts.NoProfitGate {
+		var gppCycles uint64
+		for _, op := range cfg.Ops {
+			gppCycles += e.opts.Timing.CyclesFor(op.Inst, op.Taken)
+		}
+		if e.opts.OffloadOverhead+cfg.ExecCycles() >= gppCycles {
+			return
+		}
+	}
+	e.cache.Insert(cfg)
+	e.rep.Translations++
+}
+
+// TestEngineMatchesNaiveReference asserts that the optimized Engine (dense
+// translation table, guided replay, batched prefix accounting, precomputed
+// timing tables) produces a Report identical in every field — cycle and
+// instruction counters, class vectors, cache statistics and the
+// utilization map — to the naive reference implementation, across
+// workloads and allocators.
+func TestEngineMatchesNaiveReference(t *testing.T) {
+	workloads := []string{"crc32", "bitcount", "stringsearch"}
+	allocators := []struct {
+		name    string
+		factory func(fabric.Geometry) alloc.Allocator
+	}{
+		{"baseline", func(fabric.Geometry) alloc.Allocator { return alloc.Baseline{} }},
+		{"utilization-aware", func(g fabric.Geometry) alloc.Allocator { return alloc.NewUtilizationAware(g) }},
+	}
+	geom := fabric.NewGeometry(2, 16)
+
+	for _, name := range workloads {
+		b, ok := prog.ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		for _, al := range allocators {
+			t.Run(name+"/"+al.name, func(t *testing.T) {
+				cNaive, err := b.NewCore(prog.Tiny)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := newNaiveEngine(Options{Geom: geom, Allocator: al.factory(geom)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := ref.run(cNaive, b.MaxInstructions)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				cOpt, err := b.NewCore(prog.Tiny)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng, err := NewEngine(Options{Geom: geom, Allocator: al.factory(geom)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.Run(cOpt, b.MaxInstructions)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("optimized report diverges from naive reference\nnaive: %+v\n  opt: %+v", want, got)
+				}
+				if cNaive.Regs != cOpt.Regs {
+					t.Errorf("architectural register state diverges")
+				}
+			})
+		}
+	}
+}

@@ -180,7 +180,31 @@ type Engine struct {
 	residentOff fabric.Offset
 	hasResident bool
 
+	// Per-text-index timing/class tables for the GPP attribution path,
+	// built once per program: cycle cost for the not-taken and taken
+	// outcomes and the instruction class, so the per-retirement accounting
+	// is three array loads instead of two switch dispatches.
+	tabProg    *isa.Program
+	cycNT, cyc []uint64
+	class      []isa.Class
+
 	rep Report
+}
+
+// ensureTables (re)builds the per-instruction attribution tables for p.
+func (e *Engine) ensureTables(p *isa.Program) {
+	if e.tabProg == p {
+		return
+	}
+	e.tabProg = p
+	e.cycNT = make([]uint64, len(p.Text))
+	e.cyc = make([]uint64, len(p.Text))
+	e.class = make([]isa.Class, len(p.Text))
+	for i, in := range p.Text {
+		e.cycNT[i] = e.opts.Timing.CyclesFor(in, false)
+		e.cyc[i] = e.opts.Timing.CyclesFor(in, true)
+		e.class[i] = in.Op.Class()
+	}
 }
 
 // NewEngine validates options and builds an engine.
@@ -207,6 +231,7 @@ func NewEngine(opts Options) (*Engine, error) {
 		opts:  opts,
 		cache: cfgcache.New(opts.CacheCapacity, opts.CachePolicy),
 		ctrl:  ctrl,
+		trace: make([]mapper.TraceEntry, 0, opts.MaxTraceLen),
 	}
 	if len(opts.DisabledCells) > 0 {
 		dead := make(map[fabric.Cell]bool, len(opts.DisabledCells))
@@ -227,6 +252,14 @@ func (e *Engine) Cache() *cfgcache.Cache { return e.cache }
 // Run executes the core to completion (or the instruction limit) on the
 // TransRec system and returns the report.
 func (e *Engine) Run(c *gpp.Core, limit uint64) (*Report, error) {
+	// Index the configuration cache densely over the text segment so the
+	// two per-retired-instruction residency probes (Lookup below and
+	// Contains in observe) are array loads instead of map operations, and
+	// precompute the per-instruction timing/class attribution tables.
+	if p := c.Program(); p != nil {
+		e.cache.EnableDense(p.TextBase, len(p.Text))
+		e.ensureTables(p)
+	}
 	for !c.Halted() {
 		if c.RetiredCount() >= limit {
 			return nil, fmt.Errorf("dbt: instruction limit %d reached at pc %#x", limit, c.PC)
@@ -244,9 +277,13 @@ func (e *Engine) Run(c *gpp.Core, limit uint64) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.rep.GPPCycles += e.opts.Timing.CyclesFor(r.Inst, r.Taken)
+		if r.Taken {
+			e.rep.GPPCycles += e.cyc[r.Index]
+		} else {
+			e.rep.GPPCycles += e.cycNT[r.Index]
+		}
 		e.rep.GPPInstrs++
-		e.rep.GPPClasses[r.Inst.Op.Class()]++
+		e.rep.GPPClasses[e.class[r.Index]]++
 		e.observe(r)
 	}
 	e.finalizeTrace()
@@ -262,32 +299,22 @@ func (e *Engine) Run(c *gpp.Core, limit uint64) (*Report, error) {
 
 // offload replays one configuration on the CGRA: the functional core steps
 // through the recorded sequence, exiting early if a branch diverges from
-// the captured direction.
+// the captured direction. Per-op accounting is batched through the
+// config's memoized prefix tables: the loop only executes and checks for
+// divergence, and the instruction/class/cycle attribution is applied once
+// from the count of ops that ran.
 func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
 	off := e.ctrl.Place(cfg)
 
-	exitSeq := cfg.Ops[0].Seq
-	early := false
-	for _, op := range cfg.Ops {
-		if c.PC != op.PC {
-			// A previous op redirected control unexpectedly; defensive.
-			early = true
-			break
-		}
-		r, err := c.Step()
-		if err != nil {
-			return err
-		}
-		e.rep.CGRAInstrs++
-		e.rep.CGRAClasses[op.Inst.Op.Class()]++
-		exitSeq = op.Seq
-		if op.Inst.IsBranch() && r.Taken != op.Taken {
-			early = true
-			break
-		}
+	pcs, dirs := cfg.ReplayTables()
+	n, early, err := c.RunExpected(pcs, dirs)
+	if err != nil {
+		return err
 	}
+	e.rep.CGRAInstrs += uint64(n)
+	e.rep.CGRAClasses.Add(ClassCounts(cfg.ClassCountsFirst(n)))
 
-	execCycles := cfg.ExecCyclesTo(exitSeq)
+	execCycles := cfg.ExecCyclesFirst(n)
 	overhead := e.opts.OffloadOverhead
 	var reconfig uint64
 	if !e.hasResident || e.residentPC != cfg.StartPC || e.residentOff != off {
@@ -373,16 +400,19 @@ func RunGPPOnly(c *gpp.Core, timing gpp.Timing, limit uint64) (cycles uint64, cl
 	if timing == (gpp.Timing{}) {
 		timing = gpp.DefaultTiming()
 	}
-	for !c.Halted() {
-		if c.RetiredCount() >= limit {
-			return cycles, classes, fmt.Errorf("dbt: instruction limit %d reached", limit)
-		}
-		r, err := c.Step()
-		if err != nil {
-			return cycles, classes, err
-		}
+	var remaining uint64
+	if n := c.RetiredCount(); n < limit {
+		remaining = limit - n
+	}
+	n, err := c.Run(remaining, func(r gpp.Retire) {
 		cycles += timing.CyclesFor(r.Inst, r.Taken)
 		classes[r.Inst.Op.Class()]++
+	})
+	if err != nil {
+		if !c.Halted() && n >= remaining {
+			return cycles, classes, fmt.Errorf("dbt: instruction limit %d reached", limit)
+		}
+		return cycles, classes, err
 	}
 	return cycles, classes, nil
 }

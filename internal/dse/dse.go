@@ -106,6 +106,15 @@ type Options struct {
 	Model *energy.Model
 	// Engine propagates engine options other than Geom/Allocator/Controller.
 	Engine dbt.Options
+	// Workers bounds sweep parallelism: 0 selects runtime.NumCPU, 1 forces
+	// the serial path. Individual suite runs are always sequential (the
+	// benchmarks accumulate stress on one shared fabric); parallelism is
+	// across design points.
+	Workers int
+	// Refs memoizes the stand-alone GPP reference runs across design
+	// points; nil means each RunSuite computes its own references (Sweep
+	// and RunPoints install a shared cache automatically).
+	Refs *RefCache
 }
 
 // RunSuite executes the benchmark suite on one design point with one
@@ -142,14 +151,26 @@ func RunSuite(geom fabric.Geometry, factory AllocatorFactory, opt Options) (*Sui
 			return nil, fmt.Errorf("dse: unknown benchmark %q", name)
 		}
 
-		// Stand-alone GPP reference.
-		cg, err := b.NewCore(size)
-		if err != nil {
-			return nil, err
-		}
-		gppCycles, gppClasses, err := dbt.RunGPPOnly(cg, opt.Engine.Timing, b.MaxInstructions)
-		if err != nil {
-			return nil, fmt.Errorf("dse: %s gpp-only: %w", name, err)
+		// Stand-alone GPP reference, memoized across design points when a
+		// RefCache is installed: the reference depends only on the
+		// benchmark, size and timing, never on the geometry or allocator.
+		var gppCycles uint64
+		var gppClasses dbt.ClassCounts
+		if opt.Refs != nil {
+			ref, err := opt.Refs.Get(b, size, opt.Engine.Timing)
+			if err != nil {
+				return nil, fmt.Errorf("dse: %s gpp-only: %w", name, err)
+			}
+			gppCycles, gppClasses = ref.Cycles, ref.Classes
+		} else {
+			cg, err := b.NewCore(size)
+			if err != nil {
+				return nil, err
+			}
+			gppCycles, gppClasses, err = dbt.RunGPPOnly(cg, opt.Engine.Timing, b.MaxInstructions)
+			if err != nil {
+				return nil, fmt.Errorf("dse: %s gpp-only: %w", name, err)
+			}
 		}
 
 		// TransRec run sharing the suite controller.
@@ -201,20 +222,18 @@ func Grid() []GridPoint {
 	return out
 }
 
-// Sweep runs the suite over every grid point.
+// Sweep runs the suite over every grid point, fanning the points out over
+// opt.Workers goroutines (0 selects runtime.NumCPU). Results are in point
+// order and identical to a serial sweep.
 func Sweep(points []GridPoint, factory AllocatorFactory, opt Options) ([]*SuiteResult, error) {
 	if len(points) == 0 {
 		points = Grid()
 	}
-	out := make([]*SuiteResult, 0, len(points))
-	for _, p := range points {
-		res, err := RunSuite(fabric.NewGeometry(p.Rows, p.Cols), factory, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
+	pts := make([]Point, len(points))
+	for i, p := range points {
+		pts[i] = Point{Geom: fabric.NewGeometry(p.Rows, p.Cols), Factory: factory}
 	}
-	return out, nil
+	return RunPoints(pts, opt)
 }
 
 // Scenario identifies the three designs of interest the paper selects.

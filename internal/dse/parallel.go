@@ -1,0 +1,140 @@
+// Parallel sweep engine: every figure and table of the paper re-runs the
+// suite across geometry × allocator design points, and the points are
+// mutually independent (each owns its controller, allocator and cores), so
+// they fan out over a worker pool. Two invariants keep the parallel path
+// bit-identical to the serial one: results land at their point's index
+// regardless of completion order, and the stand-alone GPP reference — a
+// pure function of (benchmark, size, timing) that the serial path
+// recomputed for every point — is memoized in a RefCache shared across the
+// pool.
+package dse
+
+import (
+	"runtime"
+	"sync"
+
+	"agingcgra/internal/dbt"
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/gpp"
+	"agingcgra/internal/prog"
+)
+
+// GPPRef is the stand-alone GPP outcome for one benchmark: the reference
+// every design point is normalized against.
+type GPPRef struct {
+	Cycles  uint64
+	Classes dbt.ClassCounts
+}
+
+type refKey struct {
+	bench  string
+	size   prog.Size
+	timing gpp.Timing
+}
+
+type refEntry struct {
+	once sync.Once
+	ref  GPPRef
+	err  error
+}
+
+// RefCache memoizes GPP-only reference runs. The reference depends only on
+// the benchmark, the input size and the timing model — not on the fabric
+// geometry or allocator — so one cache serves an entire sweep. Safe for
+// concurrent use; each key is computed exactly once even when several
+// workers ask for it simultaneously.
+type RefCache struct {
+	mu sync.Mutex
+	m  map[refKey]*refEntry
+}
+
+// NewRefCache builds an empty reference memo.
+func NewRefCache() *RefCache {
+	return &RefCache{m: make(map[refKey]*refEntry)}
+}
+
+// Get returns the memoized reference for (b, size, timing), computing it on
+// first use. The zero timing normalizes to gpp.DefaultTiming, matching
+// dbt.RunGPPOnly.
+func (rc *RefCache) Get(b *prog.Benchmark, size prog.Size, timing gpp.Timing) (GPPRef, error) {
+	if timing == (gpp.Timing{}) {
+		timing = gpp.DefaultTiming()
+	}
+	key := refKey{bench: b.Name, size: size, timing: timing}
+	rc.mu.Lock()
+	e, ok := rc.m[key]
+	if !ok {
+		e = &refEntry{}
+		rc.m[key] = e
+	}
+	rc.mu.Unlock()
+	e.once.Do(func() {
+		c, err := b.NewCore(size)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.ref.Cycles, e.ref.Classes, e.err = dbt.RunGPPOnly(c, timing, b.MaxInstructions)
+	})
+	return e.ref, e.err
+}
+
+// Point is one design point of a sweep: a fabric geometry paired with the
+// allocator strategy to run on it.
+type Point struct {
+	Geom    fabric.Geometry
+	Factory AllocatorFactory
+}
+
+// RunPoints executes the suite on every design point, fanning the points
+// out over opt.Workers goroutines (0 selects runtime.NumCPU; 1 forces the
+// serial path). Results are ordered by point index and identical to running
+// the points serially; on failure the error of the lowest-indexed failing
+// point is returned, again matching the serial path.
+func RunPoints(points []Point, opt Options) ([]*SuiteResult, error) {
+	if opt.Refs == nil {
+		opt.Refs = NewRefCache()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	out := make([]*SuiteResult, len(points))
+	if workers <= 1 {
+		for i, p := range points {
+			res, err := RunSuite(p.Geom, p.Factory, opt)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+
+	errs := make([]error, len(points))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = RunSuite(points[i].Geom, points[i].Factory, opt)
+			}
+		}()
+	}
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package dse
+
+import (
+	"reflect"
+	"testing"
+
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/gpp"
+	"agingcgra/internal/prog"
+)
+
+// testOptions keeps parallel-equality runs fast: a suite subset at Tiny.
+func testOptions(workers int) Options {
+	return Options{
+		Size:       prog.Tiny,
+		Benchmarks: []string{"crc32", "bitcount", "stringsearch"},
+		Workers:    workers,
+	}
+}
+
+// TestSweepParallelMatchesSerial asserts the worker-pool sweep produces
+// results identical to the serial path, point for point: same ordering,
+// same cycle counts, same utilization maps.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	points := []GridPoint{{2, 8}, {4, 8}, {2, 16}, {4, 16}}
+
+	serial, err := Sweep(points, ProposedFactory, testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(points, ProposedFactory, testOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != len(parallel) {
+		t.Fatalf("length mismatch: serial %d parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("point %d (%v) diverges between serial and parallel sweeps", i, serial[i].Geom)
+		}
+	}
+}
+
+// TestRunPointsMixedFactories covers the geometry × allocator fan-out shape
+// the experiment drivers use (same geometry, both allocators).
+func TestRunPointsMixedFactories(t *testing.T) {
+	g := fabric.NewGeometry(2, 16)
+	points := []Point{
+		{Geom: g, Factory: BaselineFactory},
+		{Geom: g, Factory: ProposedFactory},
+	}
+	serial, err := RunPoints(points, testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunPoints(points, testOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("point %d diverges between serial and parallel runs", i)
+		}
+	}
+	if serial[0].AllocatorName == serial[1].AllocatorName {
+		t.Errorf("expected distinct allocators per point, both %q", serial[0].AllocatorName)
+	}
+}
+
+// TestRefCacheMatchesDirect asserts the memoized GPP reference equals a
+// direct RunSuite without a cache, and that repeated Gets are stable.
+func TestRefCacheMatchesDirect(t *testing.T) {
+	g := fabric.NewGeometry(2, 16)
+	opt := testOptions(1)
+
+	direct, err := RunSuite(g, BaselineFactory, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Refs = NewRefCache()
+	memoized, err := RunSuite(g, BaselineFactory, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, memoized) {
+		t.Errorf("memoized suite result diverges from direct computation")
+	}
+
+	b, _ := prog.ByName("crc32")
+	r1, err := opt.Refs.Get(b, prog.Tiny, gpp.Timing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := opt.Refs.Get(b, prog.Tiny, gpp.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("zero timing should normalize to the default: %+v vs %+v", r1, r2)
+	}
+}

@@ -45,6 +45,15 @@ type Config struct {
 	UsedCols int
 
 	cells []Cell // cached occupied cells
+
+	// Replay accelerator tables, computed once on first use: the engine
+	// replays hot configurations millions of times and batches its per-op
+	// accounting through these prefix sums instead of re-deriving it per
+	// retired instruction.
+	execPrefix  []uint64    // [k] = exec cycles when the first k ops ran
+	classPrefix [][8]uint64 // [k] = per-isa.Class op counts of the first k ops
+	replayPCs   []uint32    // op addresses in sequence order
+	replayDirs  []int8      // expected branch direction: -1 none, 0/1 not-taken/taken
 }
 
 // NumOps returns the number of instructions in the configuration.
@@ -104,6 +113,65 @@ func (c *Config) ExecCyclesTo(exitSeq int) uint64 {
 
 // ExecCycles returns the execution time of the full configuration.
 func (c *Config) ExecCycles() uint64 { return CyclesForColumns(c.UsedCols) }
+
+// ensurePrefixes builds the replay accelerator tables.
+func (c *Config) ensurePrefixes() {
+	if c.execPrefix != nil {
+		return
+	}
+	c.execPrefix = make([]uint64, len(c.Ops)+1)
+	c.classPrefix = make([][8]uint64, len(c.Ops)+1)
+	c.replayPCs = make([]uint32, len(c.Ops))
+	c.replayDirs = make([]int8, len(c.Ops))
+	maxEnd := 0
+	var classes [8]uint64
+	for i, op := range c.Ops {
+		if e := op.EndCol(); e > maxEnd {
+			maxEnd = e
+		}
+		classes[op.Inst.Op.Class()]++
+		c.execPrefix[i+1] = CyclesForColumns(maxEnd)
+		c.classPrefix[i+1] = classes
+		c.replayPCs[i] = op.PC
+		c.replayDirs[i] = -1
+		if op.Inst.IsBranch() {
+			c.replayDirs[i] = 0
+			if op.Taken {
+				c.replayDirs[i] = 1
+			}
+		}
+	}
+	// Zero ops executed still pays for the first op's column span,
+	// mirroring ExecCyclesTo's exitSeq floor of Ops[0].Seq.
+	if len(c.Ops) > 0 {
+		c.execPrefix[0] = c.execPrefix[1]
+	}
+}
+
+// ExecCyclesFirst returns the execution time when exactly the first n ops
+// of the sequence executed: identical to ExecCyclesTo(Ops[n-1].Seq) (and,
+// for n == 0, to ExecCyclesTo(Ops[0].Seq), the early-exit floor) but O(1)
+// after the first call.
+func (c *Config) ExecCyclesFirst(n int) uint64 {
+	c.ensurePrefixes()
+	return c.execPrefix[n]
+}
+
+// ClassCountsFirst returns per-isa.Class op counts of the first n ops,
+// memoized like ExecCyclesFirst.
+func (c *Config) ClassCountsFirst(n int) [8]uint64 {
+	c.ensurePrefixes()
+	return c.classPrefix[n]
+}
+
+// ReplayTables returns the sequence's op addresses and expected branch
+// directions (-1 for non-branches, else 0/1) in the compact form the
+// replay inner loop consumes. The slices are memoized; callers must not
+// modify them.
+func (c *Config) ReplayTables() (pcs []uint32, dirs []int8) {
+	c.ensurePrefixes()
+	return c.replayPCs, c.replayDirs
+}
 
 // Validate checks the structural invariants of a placed configuration:
 // every op within bounds, no two ops sharing an FU cell, UsedCols

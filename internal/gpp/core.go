@@ -75,6 +75,13 @@ func (c *Core) Step() (Retire, error) {
 	if idx < 0 {
 		return Retire{}, fmt.Errorf("gpp: pc %#x outside text segment", c.PC)
 	}
+	return c.stepIdx(idx)
+}
+
+// stepIdx executes the instruction at text index idx (which must equal
+// IndexOf(c.PC)); Run tracks the index incrementally across sequential
+// retirements so the common fall-through case skips the address decode.
+func (c *Core) stepIdx(idx int) (Retire, error) {
 	in := c.prog.Text[idx]
 	ret := Retire{PC: c.PC, Index: idx, Inst: in}
 
@@ -288,17 +295,71 @@ func (c *Core) Step() (Retire, error) {
 	return ret, nil
 }
 
+// RunExpected replays a translated instruction sequence: it executes while
+// the PC follows pcs, stopping before the first op whose address diverges
+// from the actual control flow and after the first branch whose observed
+// direction differs from dirs (-1 marks non-branches, otherwise 0/1 is the
+// expected not-taken/taken outcome). It returns the number of instructions
+// executed and whether the replay exited the sequence early. This is the
+// inner loop of configuration replay, with the text index tracked
+// incrementally exactly like Run.
+func (c *Core) RunExpected(pcs []uint32, dirs []int8) (n int, early bool, err error) {
+	idx := -1
+	textLen := len(c.prog.Text)
+	for n < len(pcs) {
+		if c.PC != pcs[n] {
+			return n, true, nil
+		}
+		if c.halted {
+			return n, true, fmt.Errorf("gpp: step after halt at pc %#x", c.PC)
+		}
+		if idx < 0 {
+			if idx = c.prog.IndexOf(c.PC); idx < 0 {
+				return n, true, fmt.Errorf("gpp: pc %#x outside text segment", c.PC)
+			}
+		}
+		r, err := c.stepIdx(idx)
+		if err != nil {
+			return n, true, err
+		}
+		n++
+		if d := dirs[n-1]; d >= 0 && r.Taken != (d == 1) {
+			return n, true, nil
+		}
+		if r.NextPC == r.PC+4 && idx+1 < textLen {
+			idx++
+		} else {
+			idx = -1
+		}
+	}
+	return n, false, nil
+}
+
 // Run executes until halt or until limit instructions have retired, invoking
 // hook (if non-nil) for every retirement. It returns the number of
 // instructions retired by this call.
+//
+// The loop tracks the text index incrementally: a fall-through retirement
+// advances it by one instead of re-deriving it from the PC, so only taken
+// control transfers pay for IndexOf.
 func (c *Core) Run(limit uint64, hook func(Retire)) (uint64, error) {
 	var n uint64
+	textLen := len(c.prog.Text)
+	idx := c.prog.IndexOf(c.PC)
 	for !c.halted && n < limit {
-		r, err := c.Step()
+		if idx < 0 || idx >= textLen {
+			return n, fmt.Errorf("gpp: pc %#x outside text segment", c.PC)
+		}
+		r, err := c.stepIdx(idx)
 		if err != nil {
 			return n, err
 		}
 		n++
+		if r.NextPC == r.PC+4 {
+			idx++
+		} else {
+			idx = c.prog.IndexOf(r.NextPC)
+		}
 		if hook != nil {
 			hook(r)
 		}

@@ -14,6 +14,7 @@ package prog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"agingcgra/internal/gpp"
 	"agingcgra/internal/isa"
@@ -64,23 +65,27 @@ type Benchmark struct {
 	// MaxInstructions bounds the run; exceeded means a kernel bug.
 	MaxInstructions uint64
 
-	prog *isa.Program // cached assembly result
+	asmOnce sync.Once
+	prog    *isa.Program // cached assembly result
+	asmErr  error
 }
 
-// Assemble returns the assembled program, caching the result.
+// Assemble returns the assembled program, caching the result. It is safe
+// for concurrent use: parallel design-space sweeps assemble each benchmark
+// exactly once.
 func (b *Benchmark) Assemble() (*isa.Program, error) {
-	if b.prog != nil {
-		return b.prog, nil
-	}
-	p, err := isa.Assemble(b.Source, isa.AsmOptions{
-		TextBase: gpp.TextBase,
-		Symbols:  b.Symbols,
+	b.asmOnce.Do(func() {
+		p, err := isa.Assemble(b.Source, isa.AsmOptions{
+			TextBase: gpp.TextBase,
+			Symbols:  b.Symbols,
+		})
+		if err != nil {
+			b.asmErr = fmt.Errorf("prog: assembling %s: %w", b.Name, err)
+			return
+		}
+		b.prog = p
 	})
-	if err != nil {
-		return nil, fmt.Errorf("prog: assembling %s: %w", b.Name, err)
-	}
-	b.prog = p
-	return p, nil
+	return b.prog, b.asmErr
 }
 
 // NewCore assembles the benchmark, builds a core and runs Setup for the
