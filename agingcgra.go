@@ -20,6 +20,7 @@ package agingcgra
 import (
 	"fmt"
 
+	"agingcgra/internal/aging"
 	"agingcgra/internal/alloc"
 	"agingcgra/internal/dbt"
 	"agingcgra/internal/dse"
@@ -27,6 +28,7 @@ import (
 	"agingcgra/internal/fabric"
 	"agingcgra/internal/gpp"
 	"agingcgra/internal/isa"
+	"agingcgra/internal/lifetime"
 	"agingcgra/internal/prog"
 )
 
@@ -208,6 +210,110 @@ func (s *System) RunBenchmark(name string, size Size) (*RunResult, error) {
 		Report:    rep,
 		RelEnergy: model.Relative(rep, gppCycles, gppClasses),
 	}, nil
+}
+
+// Lifetime simulation: the multi-year epoch loop of internal/lifetime,
+// surfaced with allocators selected by name.
+type (
+	// LifetimeResult is the timeline of one long-horizon simulation.
+	LifetimeResult = lifetime.Result
+	// LifetimeRecord is one epoch of a lifetime timeline.
+	LifetimeRecord = lifetime.EpochRecord
+)
+
+// LifetimeConfig describes one lifetime scenario with the allocator chosen
+// by name; zero values select the BE design under the paper's calibration.
+type LifetimeConfig struct {
+	// Name labels the scenario (default "<geom>/<allocator>").
+	Name string
+	// Rows and Cols size the fabric (default 2x16, the BE design).
+	Rows, Cols int
+	// Allocator names the allocation strategy (default "baseline").
+	Allocator string
+	// Benchmarks is the per-epoch workload mix (default: the full suite).
+	Benchmarks []string
+	// Size is the workload input scale (default Tiny).
+	Size Size
+	// EpochYears is the simulation step (default 0.5).
+	EpochYears float64
+	// MaxYears is the simulated horizon (default 15).
+	MaxYears float64
+	// TemperatureK and Vdd override the operating point (0 keeps the
+	// model's calibration corner); hotter or higher-voltage parts age
+	// faster by Eq. 1's acceleration factor.
+	TemperatureK float64
+	Vdd          float64
+}
+
+func (c LifetimeConfig) scenario() (lifetime.Scenario, error) {
+	rows, cols := c.Rows, c.Cols
+	if rows == 0 {
+		rows = 2
+	}
+	if cols == 0 {
+		cols = 16
+	}
+	g := fabric.NewGeometry(rows, cols)
+	if err := g.Validate(); err != nil {
+		return lifetime.Scenario{}, err
+	}
+	if _, err := NewAllocator(c.Allocator, g); err != nil {
+		return lifetime.Scenario{}, err
+	}
+	allocName := c.Allocator
+	factory := func(g fabric.Geometry) alloc.Allocator {
+		a, err := NewAllocator(allocName, g)
+		if err != nil {
+			a = alloc.Baseline{}
+		}
+		return a
+	}
+	model := aging.NewModel()
+	cond := model.Cond
+	if c.TemperatureK > 0 {
+		cond.TemperatureK = c.TemperatureK
+	}
+	if c.Vdd > 0 {
+		cond.Vdd = c.Vdd
+	}
+	if err := cond.Validate(); err != nil {
+		return lifetime.Scenario{}, err
+	}
+	return lifetime.Scenario{
+		Name:       c.Name,
+		Geom:       g,
+		Factory:    factory,
+		Mix:        c.Benchmarks,
+		Size:       c.Size,
+		EpochYears: c.EpochYears,
+		MaxYears:   c.MaxYears,
+		Model:      model,
+		Cond:       cond,
+	}, nil
+}
+
+// RunLifetime simulates one lifetime scenario to its horizon.
+func RunLifetime(c LifetimeConfig) (*LifetimeResult, error) {
+	sc, err := c.scenario()
+	if err != nil {
+		return nil, err
+	}
+	return lifetime.Run(sc)
+}
+
+// RunLifetimes simulates a batch of scenarios over a worker pool (workers
+// <= 0 selects all CPUs, 1 forces the serial path). Results are ordered by
+// scenario index and byte-identical between serial and parallel runs.
+func RunLifetimes(cs []LifetimeConfig, workers int) ([]*LifetimeResult, error) {
+	scs := make([]lifetime.Scenario, len(cs))
+	for i, c := range cs {
+		sc, err := c.scenario()
+		if err != nil {
+			return nil, err
+		}
+		scs[i] = sc
+	}
+	return lifetime.RunScenarios(scs, workers)
 }
 
 // RunSuite executes the whole benchmark suite on this system's design,

@@ -26,6 +26,7 @@ type Result struct {
 	Iterations   int     `json:"iterations"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	InstrsPerSec float64 `json:"instrs_per_sec,omitempty"`
+	EpochsPerSec float64 `json:"epochs_per_sec,omitempty"`
 	SpeedupVs    string  `json:"speedup_vs,omitempty"`
 	Speedup      float64 `json:"speedup,omitempty"`
 }
@@ -75,6 +76,12 @@ func main() {
 		fatal(err)
 	}
 	rep.Results = append(rep.Results, serial, parallel)
+
+	life, err := benchLifetimeScenario()
+	if err != nil {
+		fatal(err)
+	}
+	rep.Results = append(rep.Results, life)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -144,6 +151,46 @@ func benchFig6Sweep(size agingcgra.Size) (serial, parallel Result, err error) {
 		Speedup:    float64(time1.Nanoseconds()) / float64(timeN.Nanoseconds()),
 	}
 	return serial, parallel, nil
+}
+
+// benchLifetimeScenario times the lifetime engine's hot loop: a 20-year
+// BE-design scenario under the utilization-aware allocator, fabric failures
+// included (so both the epoch memo and the post-death re-simulation paths
+// are on the clock).
+func benchLifetimeScenario() (Result, error) {
+	cfg := agingcgra.LifetimeConfig{
+		Allocator:  "utilization-aware",
+		Benchmarks: []string{"crc32"},
+		EpochYears: 0.25,
+		MaxYears:   20,
+	}
+	// Warm-up: kernel assembly (cached process-wide). The timed region runs
+	// the iterations as one batch so the stand-alone GPP reference is
+	// memoized across them and paid once, not per iteration.
+	if _, err := agingcgra.RunLifetime(cfg); err != nil {
+		return Result{}, err
+	}
+	const iters = 3
+	batch := make([]agingcgra.LifetimeConfig, iters)
+	for i := range batch {
+		batch[i] = cfg
+	}
+	var epochs int
+	start := time.Now()
+	results, err := agingcgra.RunLifetimes(batch, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, res := range results {
+		epochs += len(res.Timeline)
+	}
+	elapsed := time.Since(start)
+	return Result{
+		Name:         "Lifetime/BE-snake-crc32-20y",
+		Iterations:   iters,
+		NsPerOp:      float64(elapsed.Nanoseconds()) / float64(iters),
+		EpochsPerSec: float64(epochs) / elapsed.Seconds(),
+	}, nil
 }
 
 func timeFig6(size agingcgra.Size, workers int) (time.Duration, error) {

@@ -1,11 +1,15 @@
-// Lifetime planning: use the NBTI model (Eq. 1 of the paper) the way a
-// product team would — exploring how temperature, supply voltage and the
-// allocation strategy trade against end-of-life and frequency guardbands.
+// Lifetime planning: use the NBTI model (Eq. 1 of the paper) and the
+// long-horizon lifetime simulator the way a product team would — first the
+// closed-form trade-offs (temperature, voltage, utilization vs end-of-life
+// and frequency guardbands), then an actual multi-year simulation of the BE
+// design under both allocators, watching FUs die and performance decay.
 package main
 
 import (
 	"fmt"
+	"log"
 
+	"agingcgra"
 	"agingcgra/internal/aging"
 	"agingcgra/internal/report"
 )
@@ -31,9 +35,8 @@ func main() {
 	fmt.Println()
 
 	// 2. Environmental sensitivity: the same fabric in a hotter enclosure
-	// or at a higher voltage corner.
-	fmt.Println("delay degradation after 3 years at 94.5% utilization (BE baseline):")
-	env := &report.Table{Header: []string{"corner", "T [K]", "Vdd [V]", "delta-Vt [mV]"}}
+	// or at a higher voltage corner ages faster by the acceleration factor.
+	env := &report.Table{Header: []string{"corner", "T [K]", "Vdd [V]", "aging acceleration"}}
 	for _, c := range []struct {
 		name string
 		t, v float64
@@ -49,17 +52,47 @@ func main() {
 		env.AddRow(c.name,
 			fmt.Sprintf("%.0f", c.t),
 			fmt.Sprintf("%.1f", c.v),
-			fmt.Sprintf("%.3f", 1000*cond.DeltaVt(3, 0.945)))
+			fmt.Sprintf("%.2fx", model.AccelerationFactor(cond)))
 	}
 	fmt.Print(env.String())
 	fmt.Println()
 
-	// 3. The paper's headline, in planning terms.
-	fmt.Println("planning view of the paper's BE scenario:")
-	fmt.Printf("  baseline (worst 94.5%%): replace or re-guardband after %.1f years\n",
-		model.Lifetime(0.945))
-	fmt.Printf("  proposed (worst 41.1%%): replace or re-guardband after %.1f years\n",
-		model.Lifetime(0.411))
-	fmt.Printf("  the rotation hardware costs <10%% area and buys %.2fx product life\n",
-		model.Improvement(0.945, 0.411))
+	// 3. The multi-year simulation: play the BE design forward under both
+	// allocators with a crc32+sha duty mix and watch the first failures.
+	fmt.Println("simulating 20 years of the BE design (crc32+sha mix, 0.5-year epochs):")
+	results, err := agingcgra.RunLifetimes([]agingcgra.LifetimeConfig{
+		{Allocator: "baseline", Benchmarks: []string{"crc32", "sha"}, MaxYears: 20},
+		{Allocator: "utilization-aware", Benchmarks: []string{"crc32", "sha"}, MaxYears: 20},
+	}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := &report.Table{Header: []string{
+		"scenario", "worst util", "first death", "dead @ 20y", "speedup @ 0y", "speedup @ 20y"}}
+	for _, r := range results {
+		first := "none"
+		if r.FirstDeathYears > 0 {
+			first = fmt.Sprintf("%.1f years", r.FirstDeathYears)
+		}
+		sim.AddRow(
+			r.AllocatorName,
+			fmt.Sprintf("%.1f%%", 100*r.Timeline[0].WorstUtil),
+			first,
+			fmt.Sprintf("%d FUs", r.TotalDeaths),
+			fmt.Sprintf("%.2fx", r.InitialSpeedup),
+			fmt.Sprintf("%.2fx", r.FinalSpeedup),
+		)
+	}
+	fmt.Print(sim.String())
+	fmt.Println()
+
+	base, prop := results[0], results[1]
+	if base.FirstDeathYears > 0 && prop.FirstDeathYears > 0 {
+		fmt.Printf("planning view: rotation hardware costs <10%% area and moves the first\n")
+		fmt.Printf("FU failure from %.1f to %.1f years — %.2fx, the worst-utilization ratio\n",
+			base.FirstDeathYears, prop.FirstDeathYears,
+			prop.FirstDeathYears/base.FirstDeathYears)
+		fmt.Printf("(closed form: %.2fx). Full timelines: go run ./cmd/cgra-lifetime\n",
+			model.Improvement(base.Timeline[0].WorstUtil, prop.Timeline[0].WorstUtil))
+	}
 }

@@ -147,6 +147,22 @@ func (m Model) LifetimeNumeric(u float64) float64 {
 	return (lo + hi) / 2
 }
 
+// AccelerationFactor returns how much faster NBTI damage accrues at
+// operating conditions c than at the model's calibration conditions: the
+// factor multiplying effective stress-years. From Eq. 1, ΔVt scales with
+// K(T,Vdd) = e^(−1500/T)·Vdd⁴ and with (t·u)^(1/6), so matching the damage
+// of one year at c takes (K(c)/K(cal))⁶ years at calibration conditions.
+// Identical conditions return exactly 1.
+func (m Model) AccelerationFactor(c Conditions) float64 {
+	if c == m.Cond {
+		return 1
+	}
+	k := func(c Conditions) float64 {
+		return math.Exp(-1500/c.TemperatureK) * math.Pow(c.Vdd, 4)
+	}
+	return math.Pow(k(c)/k(m.Cond), 6)
+}
+
 // Improvement returns the lifetime-extension factor when the worst-case
 // duty cycle drops from uBaseline to uProposed: the paper's Table I metric.
 func (m Model) Improvement(uBaseline, uProposed float64) float64 {

@@ -1,0 +1,133 @@
+package aging
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLifetimeClosedForm pins Eq. 1's central consequence against the
+// paper's calibration: because ΔVt depends on t and u only through t·u, the
+// lifetime at the 10%-over-3-years calibration is exactly 3/u.
+func TestLifetimeClosedForm(t *testing.T) {
+	m := NewModel()
+	for u := 0.001; u <= 1.0; u += 0.001 {
+		if got, want := m.Lifetime(u), 3/u; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Lifetime(%v) = %v, want 3/u = %v", u, got, want)
+		}
+	}
+	// The paper's Table I utilization numbers, spot-checked.
+	for _, c := range []struct{ u, years float64 }{
+		{1.0, 3.0},
+		{0.945, 3.0 / 0.945},
+		{0.411, 3.0 / 0.411},
+		{0.224, 3.0 / 0.224},
+		{0.123, 3.0 / 0.123},
+	} {
+		if got := m.Lifetime(c.u); math.Abs(got-c.years) > 1e-9 {
+			t.Errorf("Lifetime(%v) = %v, want %v", c.u, got, c.years)
+		}
+	}
+	if !math.IsInf(m.Lifetime(0), 1) {
+		t.Error("Lifetime(0) should be +Inf (an unused device never ages out)")
+	}
+}
+
+// TestLifetimeNumericAgreesWithClosedForm validates the closed form against
+// the bisection solver.
+func TestLifetimeNumericAgreesWithClosedForm(t *testing.T) {
+	m := NewModel()
+	for _, u := range []float64{1.0, 0.945, 0.5, 0.411, 0.224, 0.123, 0.05} {
+		cf, num := m.Lifetime(u), m.LifetimeNumeric(u)
+		if math.Abs(cf-num)/cf > 1e-6 {
+			t.Errorf("u=%v: closed form %v vs numeric %v", u, cf, num)
+		}
+	}
+}
+
+// TestDeltaVtMonotone checks ΔVt is strictly increasing in time, duty cycle
+// and supply voltage — the physical sanity Eq. 1 must keep.
+func TestDeltaVtMonotone(t *testing.T) {
+	c := DefaultConditions()
+	for i := 1; i < 200; i++ {
+		t0, t1 := float64(i)*0.1, float64(i+1)*0.1
+		if c.DeltaVt(t0, 0.5) >= c.DeltaVt(t1, 0.5) {
+			t.Fatalf("DeltaVt not increasing in t at %v years", t0)
+		}
+	}
+	for i := 1; i < 100; i++ {
+		u0, u1 := float64(i)*0.01, float64(i+1)*0.01
+		if c.DeltaVt(3, u0) >= c.DeltaVt(3, u1) {
+			t.Fatalf("DeltaVt not increasing in u at %v", u0)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		lo, hi := c, c
+		lo.Vdd = 0.5 + float64(i)*0.01
+		hi.Vdd = 0.5 + float64(i+1)*0.01
+		if lo.DeltaVt(3, 0.5) >= hi.DeltaVt(3, 0.5) {
+			t.Fatalf("DeltaVt not increasing in Vdd at %v V", lo.Vdd)
+		}
+	}
+	if c.DeltaVt(0, 0.5) != 0 || c.DeltaVt(3, 0) != 0 {
+		t.Error("DeltaVt must be zero at t=0 or u=0")
+	}
+}
+
+// TestGuardbandConsistentWithDelay pins GuardbandFrequency == 1/(1+delay)
+// and the calibration anchor: 10% delay at exactly (3 years, u=1).
+func TestGuardbandConsistentWithDelay(t *testing.T) {
+	m := NewModel()
+	for _, years := range []float64{0.5, 1, 3, 7, 15} {
+		for _, u := range []float64{0.1, 0.411, 0.945, 1} {
+			d := m.DelayIncrease(years, u)
+			if got, want := m.GuardbandFrequency(years, u), 1/(1+d); math.Abs(got-want) > 1e-12 {
+				t.Errorf("GuardbandFrequency(%v, %v) = %v, want %v", years, u, got, want)
+			}
+		}
+	}
+	if got := m.DelayIncrease(m.CalibYears, m.CalibUtil); math.Abs(got-m.FailThreshold) > 1e-12 {
+		t.Errorf("calibration point: delay %v, want %v", got, m.FailThreshold)
+	}
+	if got := m.GuardbandFrequency(3, 1); math.Abs(got-1/1.1) > 1e-12 {
+		t.Errorf("guardband at end of life = %v, want %v", got, 1/1.1)
+	}
+}
+
+// TestAccelerationFactor checks the damage-equivalence factor used by the
+// lifetime simulator: 1 at calibration conditions, monotone in T and Vdd,
+// and consistent with ΔVt equivalence — aging t years at conditions c
+// produces the same ΔVt as t·AF years at calibration conditions.
+func TestAccelerationFactor(t *testing.T) {
+	m := NewModel()
+	if got := m.AccelerationFactor(m.Cond); got != 1 {
+		t.Fatalf("AccelerationFactor at calibration conditions = %v, want exactly 1", got)
+	}
+
+	hot := m.Cond
+	hot.TemperatureK += 30
+	if m.AccelerationFactor(hot) <= 1 {
+		t.Error("hotter part must age faster")
+	}
+	cool := m.Cond
+	cool.TemperatureK -= 30
+	if m.AccelerationFactor(cool) >= 1 {
+		t.Error("cooler part must age slower")
+	}
+	over := m.Cond
+	over.Vdd += 0.1
+	if m.AccelerationFactor(over) <= 1 {
+		t.Error("overdriven part must age faster")
+	}
+
+	// Damage equivalence: ΔVt(t, u | c) == ΔVt(t·AF, u | calibration).
+	for _, c := range []Conditions{hot, cool, over} {
+		af := m.AccelerationFactor(c)
+		for _, years := range []float64{0.5, 2, 10} {
+			want := c.DeltaVt(years, 0.7)
+			got := m.Cond.DeltaVt(years*af, 0.7)
+			if math.Abs(got-want)/want > 1e-9 {
+				t.Errorf("cond %+v: ΔVt(%v y) = %v, equivalent %v", c, years, want, got)
+			}
+		}
+	}
+}

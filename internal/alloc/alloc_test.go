@@ -197,6 +197,45 @@ func TestHealthAwareAvoidsStressedCells(t *testing.T) {
 	}
 }
 
+// TestHealthAwareAvoidsDeadCells pins the failure-adaptive behavior: a
+// dead cell must never attract the pivot search (dead cells stop accruing
+// stress, so without the health exclusion their frozen-low stress would
+// make bestOffset actively prefer them), and a kill forces an immediate
+// recompute even while the pivot is held between recompute periods.
+func TestHealthAwareAvoidsDeadCells(t *testing.T) {
+	g := fabric.NewGeometry(2, 4)
+	h := NewHealthAware(g, 16) // long hold: the kill must break it
+	hm := fabric.NewHealth(g)
+	h.SetHealth(hm)
+	cfg := &fabric.Config{
+		StartPC:  0x1000,
+		Geom:     g,
+		Ops:      []fabric.PlacedOp{{Seq: 0, Row: 0, Col: 0, Width: 1}},
+		UsedCols: 1,
+	}
+	// Leave (1,2) cold so the search picks it, then kill it.
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 4; c++ {
+			if r == 1 && c == 2 {
+				continue
+			}
+			h.ObserveStress([]fabric.Cell{{Row: r, Col: c}}, fabric.Offset{}, 1000)
+		}
+	}
+	off := h.Next(cfg)
+	if placed := off.Apply(fabric.Cell{Row: 0, Col: 0}, g); placed != (fabric.Cell{Row: 1, Col: 2}) {
+		t.Fatalf("pre-kill placement on %v, want the cold cell (1,2)", placed)
+	}
+	hm.Kill(fabric.Cell{Row: 1, Col: 2})
+	for i := 0; i < 4; i++ {
+		off = h.Next(cfg)
+		placed := off.Apply(fabric.Cell{Row: 0, Col: 0}, g)
+		if placed == (fabric.Cell{Row: 1, Col: 2}) {
+			t.Fatalf("call %d after kill still places on the dead cell", i)
+		}
+	}
+}
+
 func TestHealthAwareRecomputePeriod(t *testing.T) {
 	g := fabric.NewGeometry(2, 4)
 	h := NewHealthAware(g, 4)

@@ -18,6 +18,17 @@ type HealthAware struct {
 	recomputeEvery uint64
 	count          uint64
 	current        fabric.Offset
+	// health, when set, excludes placements touching dead cells from the
+	// pivot search; a health change forces an immediate recompute (the
+	// held pivot may have gone stale).
+	health    *fabric.Health
+	healthVer uint64
+}
+
+// HealthSetter is implemented by allocators that adapt to fabric failures;
+// the controller forwards its health map on SetHealth.
+type HealthSetter interface {
+	SetHealth(*fabric.Health)
 }
 
 // NewHealthAware builds the stress-feedback allocator. recomputeEvery <= 0
@@ -38,9 +49,21 @@ func (h *HealthAware) Name() string {
 	return fmt.Sprintf("health-aware/every=%d", h.recomputeEvery)
 }
 
+// SetHealth implements HealthSetter.
+func (h *HealthAware) SetHealth(hm *fabric.Health) {
+	h.health = hm
+	if hm != nil {
+		h.healthVer = hm.Version()
+	}
+}
+
 // Next implements Allocator.
 func (h *HealthAware) Next(cfg *fabric.Config) fabric.Offset {
-	if h.count%h.recomputeEvery == 0 && cfg != nil {
+	stale := h.health != nil && h.healthVer != h.health.Version()
+	if (h.count%h.recomputeEvery == 0 || stale) && cfg != nil {
+		if stale {
+			h.healthVer = h.health.Version()
+		}
 		h.current = h.bestOffset(cfg)
 	}
 	h.count++
@@ -49,15 +72,23 @@ func (h *HealthAware) Next(cfg *fabric.Config) fabric.Offset {
 
 // bestOffset scans all pivots and picks the one whose placement touches the
 // least-stressed cells: minimise the maximum projected stress, break ties
-// by total stress, then by row-major order for determinism.
+// by total stress, then by row-major order for determinism. Pivots whose
+// placement would drive a dead FU are excluded (dead cells stop accruing
+// stress, so without the exclusion their frozen-low stress would make the
+// search actively prefer them); when no live pivot exists the first offset
+// is returned and the controller's own health check rejects the offload.
 func (h *HealthAware) bestOffset(cfg *fabric.Config) fabric.Offset {
 	cells := cfg.Cells()
+	checkHealth := h.health != nil && h.health.DeadCount() > 0
 	best := fabric.Offset{}
 	bestMax := ^uint64(0)
 	bestSum := ^uint64(0)
 	for r := 0; r < h.geom.Rows; r++ {
 		for c := 0; c < h.geom.Cols; c++ {
 			off := fabric.Offset{Row: r, Col: c}
+			if checkHealth && !h.health.PlacementOK(cells, off) {
+				continue
+			}
 			var maxS, sumS uint64
 			for _, cell := range cells {
 				p := off.Apply(cell, h.geom)

@@ -131,11 +131,13 @@ func (u *UtilizationMap) Min() float64 {
 	return best
 }
 
-// Controller is the aging-mitigation controller: allocator + tracker.
+// Controller is the aging-mitigation controller: allocator + tracker, plus
+// an optional fabric health map the placement must respect.
 type Controller struct {
 	geom    fabric.Geometry
 	alloc   alloc.Allocator
 	tracker *Tracker
+	health  *fabric.Health
 }
 
 // NewController builds a controller for geometry g using allocator a.
@@ -155,11 +157,38 @@ func (c *Controller) Allocator() alloc.Allocator { return c.alloc }
 // Tracker exposes the stress tracker.
 func (c *Controller) Tracker() *Tracker { return c.tracker }
 
-// Place asks the allocation strategy for the pivot of the upcoming
-// execution of cfg. The caller must follow up with Commit once the
+// SetHealth attaches a fabric health map; Place then refuses pivots that
+// would drive a failed FU, and health-adaptive allocators (alloc.
+// HealthSetter) receive the map so their pivot search can exclude dead
+// cells. A nil health map (the default) disables the check.
+func (c *Controller) SetHealth(h *fabric.Health) {
+	c.health = h
+	if hs, ok := c.alloc.(alloc.HealthSetter); ok {
+		hs.SetHealth(h)
+	}
+}
+
+// Health returns the attached health map (nil when none).
+func (c *Controller) Health() *fabric.Health { return c.health }
+
+// Place asks the allocation strategy for the pivot of the upcoming execution
+// of cfg. When a health map with failed cells is attached, pivots that would
+// map any op onto a dead FU are skipped, advancing the allocator's walk; if a
+// full sweep of proposals finds no live placement, ok is false and the caller
+// must fall back to the GPP. The caller must follow up with Commit once the
 // residency duration is known (it depends on early exits).
-func (c *Controller) Place(cfg *fabric.Config) fabric.Offset {
-	return c.alloc.Next(cfg)
+func (c *Controller) Place(cfg *fabric.Config) (off fabric.Offset, ok bool) {
+	if c.health == nil || c.health.DeadCount() == 0 {
+		return c.alloc.Next(cfg), true
+	}
+	cells := cfg.Cells()
+	for i := 0; i < c.geom.NumFUs(); i++ {
+		off := c.alloc.Next(cfg)
+		if c.health.PlacementOK(cells, off) {
+			return off, true
+		}
+	}
+	return fabric.Offset{}, false
 }
 
 // Commit records the stress of a completed execution and feeds back to

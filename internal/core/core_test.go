@@ -79,7 +79,7 @@ func TestControllerBaselineConcentratesStress(t *testing.T) {
 	}
 	cfg := smallConfig(g)
 	for i := 0; i < 8; i++ {
-		off := ctrl.Place(cfg)
+		off, _ := ctrl.Place(cfg)
 		ctrl.Commit(cfg, off, 10)
 	}
 	u := ctrl.Utilization()
@@ -100,7 +100,7 @@ func TestControllerRotationBalancesStress(t *testing.T) {
 	cfg := smallConfig(g)
 	// One full epoch: 8 pivot positions.
 	for i := 0; i < g.NumFUs(); i++ {
-		off := ctrl.Place(cfg)
+		off, _ := ctrl.Place(cfg)
 		ctrl.Commit(cfg, off, 10)
 	}
 	u := ctrl.Utilization()
@@ -125,7 +125,7 @@ func TestControllerFeedsStressObserver(t *testing.T) {
 	cfg := smallConfig(g)
 	offs := make(map[fabric.Offset]bool)
 	for i := 0; i < 8; i++ {
-		off := ctrl.Place(cfg)
+		off, _ := ctrl.Place(cfg)
 		offs[off] = true
 		ctrl.Commit(cfg, off, 10)
 	}
@@ -150,9 +150,9 @@ func TestRotationPreservesTotalStress(t *testing.T) {
 	rot, _ := NewController(g, alloc.NewUtilizationAware(g))
 	cfg := smallConfig(g)
 	for i := 0; i < 100; i++ {
-		ob := base.Place(cfg)
+		ob, _ := base.Place(cfg)
 		base.Commit(cfg, ob, 7)
-		or := rot.Place(cfg)
+		or, _ := rot.Place(cfg)
 		rot.Commit(cfg, or, 7)
 	}
 	sum := func(tr *Tracker) (s uint64) {

@@ -88,7 +88,7 @@ type limitError struct{}
 func (*limitError) Error() string { return "naive: instruction limit reached" }
 
 func (e *naiveEngine) offload(c *gpp.Core, cfg *fabric.Config) error {
-	off := e.ctrl.Place(cfg)
+	off, _ := e.ctrl.Place(cfg)
 
 	exitSeq := cfg.Ops[0].Seq
 	early := false

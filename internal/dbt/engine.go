@@ -74,6 +74,12 @@ type Options struct {
 	// not retrofitted; pair with a fresh engine to model a post-failure
 	// restart.
 	DisabledCells []fabric.Cell
+	// Health is the first-class form of DisabledCells: a mutable fabric
+	// health map shared between the mapper (which places new translations
+	// only on live cells) and the aging-mitigation controller (which skips
+	// pivot offsets that would rotate a configuration onto a dead FU). When
+	// both Health and DisabledCells are set, Health wins.
+	Health *fabric.Health
 }
 
 func (o *Options) applyDefaults() {
@@ -170,7 +176,14 @@ type Engine struct {
 	opts     Options
 	cache    *cfgcache.Cache
 	ctrl     *core.Controller
+	health   *fabric.Health
 	disabled func(fabric.Cell) bool
+
+	// unplaceable memoizes configurations the controller found no live
+	// placement for, keyed by StartPC and invalidated whenever the health
+	// map changes.
+	unplaceable    map[uint32]bool
+	unplaceableVer uint64
 
 	// Trace capture state.
 	trace []mapper.TraceEntry
@@ -227,18 +240,29 @@ func NewEngine(opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("dbt: shared controller geometry %v does not match engine geometry %v",
 			ctrl.Tracker().Geometry(), opts.Geom)
 	}
-	e := &Engine{
-		opts:  opts,
-		cache: cfgcache.New(opts.CacheCapacity, opts.CachePolicy),
-		ctrl:  ctrl,
-		trace: make([]mapper.TraceEntry, 0, opts.MaxTraceLen),
-	}
-	if len(opts.DisabledCells) > 0 {
-		dead := make(map[fabric.Cell]bool, len(opts.DisabledCells))
-		for _, c := range opts.DisabledCells {
-			dead[c] = true
+	health := opts.Health
+	if health == nil && len(opts.DisabledCells) > 0 {
+		h, err := fabric.NewHealthWithDead(opts.Geom, opts.DisabledCells)
+		if err != nil {
+			return nil, fmt.Errorf("dbt: %w", err)
 		}
-		e.disabled = func(c fabric.Cell) bool { return dead[c] }
+		health = h
+	}
+	e := &Engine{
+		opts:   opts,
+		cache:  cfgcache.New(opts.CacheCapacity, opts.CachePolicy),
+		ctrl:   ctrl,
+		health: health,
+		trace:  make([]mapper.TraceEntry, 0, opts.MaxTraceLen),
+	}
+	if health != nil {
+		e.disabled = health.Dead
+		// An engine-owned controller adopts the health map so placement
+		// avoids dead cells; a shared controller's health is the owner's
+		// business (the lifetime simulator attaches the same map to both).
+		if opts.Controller == nil {
+			ctrl.SetHealth(health)
+		}
 	}
 	return e, nil
 }
@@ -273,17 +297,10 @@ func (e *Engine) Run(c *gpp.Core, limit uint64) (*Report, error) {
 			continue
 		}
 		// Steps 1-3: execute on the GPP while the DBT captures the trace.
-		r, err := c.Step()
+		r, err := e.stepOnGPP(c)
 		if err != nil {
 			return nil, err
 		}
-		if r.Taken {
-			e.rep.GPPCycles += e.cyc[r.Index]
-		} else {
-			e.rep.GPPCycles += e.cycNT[r.Index]
-		}
-		e.rep.GPPInstrs++
-		e.rep.GPPClasses[e.class[r.Index]]++
 		e.observe(r)
 	}
 	e.finalizeTrace()
@@ -304,7 +321,28 @@ func (e *Engine) Run(c *gpp.Core, limit uint64) (*Report, error) {
 // divergence, and the instruction/class/cycle attribution is applied once
 // from the count of ops that ran.
 func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
-	off := e.ctrl.Place(cfg)
+	if h := e.ctrl.Health(); h != nil && e.unplaceable != nil {
+		if e.unplaceableVer != h.Version() {
+			e.unplaceable, e.unplaceableVer = nil, h.Version()
+		} else if e.unplaceable[cfg.StartPC] {
+			_, err := e.stepOnGPP(c)
+			return err
+		}
+	}
+	off, ok := e.ctrl.Place(cfg)
+	if !ok {
+		// Every pivot the allocator proposed would drive a failed FU: the
+		// controller refuses the offload and this step runs on the GPP.
+		// The region is already translated, so the trace builder is not
+		// re-engaged.
+		if e.unplaceable == nil {
+			e.unplaceable = make(map[uint32]bool)
+			e.unplaceableVer = e.ctrl.Health().Version()
+		}
+		e.unplaceable[cfg.StartPC] = true
+		_, err := e.stepOnGPP(c)
+		return err
+	}
 
 	pcs, dirs := cfg.ReplayTables()
 	n, early, err := c.RunExpected(pcs, dirs)
@@ -341,6 +379,25 @@ func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
 		e.rep.EarlyExits++
 	}
 	return nil
+}
+
+// stepOnGPP retires one instruction on the GPP and attributes its cycles,
+// instruction count and class: the shared accounting of the normal GPP path
+// and the unplaceable-configuration fallback (which skips the trace
+// builder, since its region is already translated).
+func (e *Engine) stepOnGPP(c *gpp.Core) (gpp.Retire, error) {
+	r, err := c.Step()
+	if err != nil {
+		return r, err
+	}
+	if r.Taken {
+		e.rep.GPPCycles += e.cyc[r.Index]
+	} else {
+		e.rep.GPPCycles += e.cycNT[r.Index]
+	}
+	e.rep.GPPInstrs++
+	e.rep.GPPClasses[e.class[r.Index]]++
+	return r, nil
 }
 
 // observe feeds one retired instruction to the DBT's trace builder. Traces

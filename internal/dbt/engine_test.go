@@ -275,6 +275,61 @@ func TestEngineOnRealBenchmark(t *testing.T) {
 	}
 }
 
+// TestUnplaceableConfigFallsBackToGPP kills the whole fabric between two
+// runs sharing one engine: the cached configurations (translated healthy)
+// have no live placement left, so the baseline allocator cannot move them
+// and every offload must fall back to the GPP — with the architectural
+// result still correct and all cycles attributed to the GPP.
+func TestUnplaceableConfigFallsBackToGPP(t *testing.T) {
+	b, _ := prog.ByName("crc32")
+	geom := fabric.NewGeometry(2, 8)
+	health := fabric.NewHealth(geom)
+	e, err := NewEngine(Options{Geom: geom, Health: health})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c1, err := b.NewCore(prog.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := e.Run(c1, b.MaxInstructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Offloads == 0 {
+		t.Fatal("healthy run never offloaded; the fallback test needs cached configs")
+	}
+
+	for r := 0; r < geom.Rows; r++ {
+		for col := 0; col < geom.Cols; col++ {
+			health.Kill(fabric.Cell{Row: r, Col: col})
+		}
+	}
+	c2, err := b.NewCore(prog.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := e.Run(c2, b.MaxInstructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Check(c2.Mem, c2.Regs[isa.A0], prog.Tiny); err != nil {
+		t.Fatalf("wrong result on fully dead fabric: %v", err)
+	}
+	// Report counters accumulate across runs on a shared engine; the
+	// second run must have added no offloads and no CGRA instructions.
+	if rep2.Offloads != rep1.Offloads {
+		t.Errorf("dead fabric still offloaded: %d -> %d", rep1.Offloads, rep2.Offloads)
+	}
+	if rep2.CGRAInstrs != rep1.CGRAInstrs {
+		t.Errorf("dead fabric executed CGRA instructions: %d -> %d", rep1.CGRAInstrs, rep2.CGRAInstrs)
+	}
+	if got := rep2.GPPInstrs - rep1.GPPInstrs; got != c2.RetiredCount() {
+		t.Errorf("GPP fallback attributed %d instrs, want all %d retired", got, c2.RetiredCount())
+	}
+}
+
 func TestRunGPPOnlyMatchesInterpreter(t *testing.T) {
 	c := loopCore(t)
 	cycles, classes, err := RunGPPOnly(c, gpp.DefaultTiming(), 1_000_000)

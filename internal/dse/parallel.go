@@ -86,6 +86,54 @@ type Point struct {
 	Factory AllocatorFactory
 }
 
+// ForEach runs fn(i) for every index in [0, n), fanned out over a worker
+// pool (workers <= 0 selects runtime.NumCPU; 1 forces the serial path,
+// which short-circuits on the first error). On failure the error of the
+// lowest-indexed failing call is returned, matching the serial path, and
+// every started call is still driven to completion. It is the shared sweep
+// primitive behind RunPoints and the lifetime scenario batches; fn must be
+// safe to call from multiple goroutines for distinct indices.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RunPoints executes the suite on every design point, fanning the points
 // out over opt.Workers goroutines (0 selects runtime.NumCPU; 1 forces the
 // serial path). Results are ordered by point index and identical to running
@@ -95,46 +143,14 @@ func RunPoints(points []Point, opt Options) ([]*SuiteResult, error) {
 	if opt.Refs == nil {
 		opt.Refs = NewRefCache()
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(points) {
-		workers = len(points)
-	}
 	out := make([]*SuiteResult, len(points))
-	if workers <= 1 {
-		for i, p := range points {
-			res, err := RunSuite(p.Geom, p.Factory, opt)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = res
-		}
-		return out, nil
-	}
-
-	errs := make([]error, len(points))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i], errs[i] = RunSuite(points[i].Geom, points[i].Factory, opt)
-			}
-		}()
-	}
-	for i := range points {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := ForEach(len(points), opt.Workers, func(i int) error {
+		res, err := RunSuite(points[i].Geom, points[i].Factory, opt)
+		out[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,111 @@
+package fabric
+
+import "fmt"
+
+// Health tracks which FU cells of a fabric are still functional. It is the
+// first-class form of the failure-injection mechanism: the mapper consults it
+// when placing new configurations, the aging-mitigation controller consults
+// it when choosing pivots, and the lifetime simulator mutates it as cells
+// cross the end-of-life delay threshold.
+//
+// A Health is owned by one simulated fabric instance and is not safe for
+// concurrent mutation; scenario sweeps give every scenario its own Health.
+type Health struct {
+	geom      Geometry
+	dead      []bool
+	deadCount int
+	version   uint64
+}
+
+// NewHealth builds an all-alive health map for the geometry.
+func NewHealth(g Geometry) *Health {
+	return &Health{geom: g, dead: make([]bool, g.NumFUs())}
+}
+
+// NewHealthWithDead builds a health map with the given cells already failed.
+// Out-of-range cells are rejected.
+func NewHealthWithDead(g Geometry, dead []Cell) (*Health, error) {
+	h := NewHealth(g)
+	for _, c := range dead {
+		if !h.inRange(c) {
+			return nil, fmt.Errorf("fabric: dead cell %v outside geometry %v", c, g)
+		}
+		h.Kill(c)
+	}
+	return h, nil
+}
+
+// Geometry returns the fabric geometry the health map covers.
+func (h *Health) Geometry() Geometry { return h.geom }
+
+func (h *Health) inRange(c Cell) bool {
+	return c.Row >= 0 && c.Row < h.geom.Rows && c.Col >= 0 && c.Col < h.geom.Cols
+}
+
+// Kill marks a cell as failed. It reports whether the cell was newly killed
+// (false for repeated kills and out-of-range cells).
+func (h *Health) Kill(c Cell) bool {
+	if !h.inRange(c) {
+		return false
+	}
+	i := c.Row*h.geom.Cols + c.Col
+	if h.dead[i] {
+		return false
+	}
+	h.dead[i] = true
+	h.deadCount++
+	h.version++
+	return true
+}
+
+// Dead reports whether the cell has failed. Out-of-range cells read as dead.
+func (h *Health) Dead(c Cell) bool {
+	if !h.inRange(c) {
+		return true
+	}
+	return h.dead[c.Row*h.geom.Cols+c.Col]
+}
+
+// Alive is the complement of Dead.
+func (h *Health) Alive(c Cell) bool { return !h.Dead(c) }
+
+// DeadCount returns the number of failed cells.
+func (h *Health) DeadCount() int { return h.deadCount }
+
+// AliveFraction returns the surviving fraction of the fabric.
+func (h *Health) AliveFraction() float64 {
+	n := h.geom.NumFUs()
+	if n == 0 {
+		return 0
+	}
+	return float64(n-h.deadCount) / float64(n)
+}
+
+// DeadCells lists the failed cells in row-major order.
+func (h *Health) DeadCells() []Cell {
+	out := make([]Cell, 0, h.deadCount)
+	for r := 0; r < h.geom.Rows; r++ {
+		for c := 0; c < h.geom.Cols; c++ {
+			if h.dead[r*h.geom.Cols+c] {
+				out = append(out, Cell{Row: r, Col: c})
+			}
+		}
+	}
+	return out
+}
+
+// Version increments on every state change; callers memoizing placement
+// decisions use it to invalidate their caches.
+func (h *Health) Version() uint64 { return h.version }
+
+// PlacementOK reports whether shifting a configuration occupying the given
+// virtual cells by off would keep every op on a live FU.
+func (h *Health) PlacementOK(cells []Cell, off Offset) bool {
+	for _, c := range cells {
+		p := off.Apply(c, h.geom)
+		if h.dead[p.Row*h.geom.Cols+p.Col] {
+			return false
+		}
+	}
+	return true
+}

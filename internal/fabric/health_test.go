@@ -1,0 +1,80 @@
+package fabric
+
+import "testing"
+
+func TestHealthKillAndQueries(t *testing.T) {
+	g := NewGeometry(2, 4)
+	h := NewHealth(g)
+	if h.DeadCount() != 0 || h.AliveFraction() != 1 {
+		t.Fatal("fresh health map should be all alive")
+	}
+	if !h.Kill(Cell{Row: 1, Col: 2}) {
+		t.Fatal("first kill should report newly killed")
+	}
+	if h.Kill(Cell{Row: 1, Col: 2}) {
+		t.Error("repeated kill should be idempotent")
+	}
+	if h.Kill(Cell{Row: 5, Col: 0}) {
+		t.Error("out-of-range kill should be rejected")
+	}
+	if !h.Dead(Cell{Row: 1, Col: 2}) || h.Alive(Cell{Row: 1, Col: 2}) {
+		t.Error("killed cell should read dead")
+	}
+	if h.Dead(Cell{Row: 0, Col: 0}) {
+		t.Error("untouched cell should read alive")
+	}
+	if !h.Dead(Cell{Row: -1, Col: 0}) {
+		t.Error("out-of-range cells must read dead")
+	}
+	if got, want := h.AliveFraction(), 7.0/8; got != want {
+		t.Errorf("alive fraction %v, want %v", got, want)
+	}
+	if cells := h.DeadCells(); len(cells) != 1 || cells[0] != (Cell{Row: 1, Col: 2}) {
+		t.Errorf("dead cells %v", cells)
+	}
+}
+
+func TestHealthVersionBumpsOnChange(t *testing.T) {
+	h := NewHealth(NewGeometry(2, 4))
+	v0 := h.Version()
+	h.Kill(Cell{Row: 0, Col: 0})
+	if h.Version() == v0 {
+		t.Error("version must change on a kill")
+	}
+	v1 := h.Version()
+	h.Kill(Cell{Row: 0, Col: 0}) // idempotent
+	if h.Version() != v1 {
+		t.Error("version must not change on a no-op kill")
+	}
+}
+
+func TestHealthPlacementOK(t *testing.T) {
+	g := NewGeometry(2, 4)
+	h := NewHealth(g)
+	h.Kill(Cell{Row: 0, Col: 0})
+	cells := []Cell{{Row: 0, Col: 0}, {Row: 0, Col: 1}}
+	if h.PlacementOK(cells, Offset{}) {
+		t.Error("identity placement over a dead cell should fail")
+	}
+	if !h.PlacementOK(cells, Offset{Row: 1}) {
+		t.Error("shifting to the live row should pass")
+	}
+	// Wrap-around: offset col 3 maps virtual col 1 onto physical col 0.
+	if h.PlacementOK(cells, Offset{Col: 3}) {
+		t.Error("wrapped placement over the dead cell should fail")
+	}
+}
+
+func TestNewHealthWithDead(t *testing.T) {
+	g := NewGeometry(2, 4)
+	h, err := NewHealthWithDead(g, []Cell{{Row: 0, Col: 1}, {Row: 1, Col: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.DeadCount() != 2 {
+		t.Errorf("dead count %d, want 2", h.DeadCount())
+	}
+	if _, err := NewHealthWithDead(g, []Cell{{Row: 9, Col: 9}}); err == nil {
+		t.Error("out-of-range dead cell accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package lifetime
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"agingcgra/internal/dse"
+	"agingcgra/internal/fabric"
+)
+
+// batch is a small heterogeneous scenario batch: two geometries × two
+// allocators, single-kernel mixes at tiny scale.
+func batch() []Scenario {
+	mk := func(rows, cols int, f dse.AllocatorFactory, bench string) Scenario {
+		return Scenario{
+			Geom:       fabric.NewGeometry(rows, cols),
+			Factory:    f,
+			Mix:        []string{bench},
+			EpochYears: 0.5,
+			MaxYears:   5,
+		}
+	}
+	return []Scenario{
+		mk(2, 16, dse.BaselineFactory, "crc32"),
+		mk(2, 16, dse.ProposedFactory, "crc32"),
+		mk(4, 8, dse.BaselineFactory, "bitcount"),
+		mk(4, 8, dse.ProposedFactory, "bitcount"),
+	}
+}
+
+// TestSerialParallelTimelinesByteIdentical extends the dse parallel==serial
+// pattern to the lifetime engine: a scenario batch fanned over the worker
+// pool must produce byte-identical JSON timelines to the serial path. CI
+// runs this package under -race.
+func TestSerialParallelTimelinesByteIdentical(t *testing.T) {
+	serial, err := RunScenarios(batch(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunScenarios(batch(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sj, err := json.MarshalIndent(serial, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.MarshalIndent(parallel, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("serial and parallel timelines differ:\nserial:\n%s\nparallel:\n%s", sj, pj)
+	}
+}
+
+// TestRepeatedRunsByteIdentical pins run-to-run determinism of a single
+// scenario (fresh caches, same bytes).
+func TestRepeatedRunsByteIdentical(t *testing.T) {
+	sc := batch()[1]
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(batch()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("repeated runs differ:\n%s\n%s", aj, bj)
+	}
+}

@@ -1,0 +1,401 @@
+// Package lifetime is the long-horizon simulator: it plays a TransRec
+// fabric forward through years of operation, composing the layers the
+// single-run experiments exercise separately. Each scenario fixes a
+// geometry, an allocation strategy, a workload mix and an operating-point
+// profile; the simulator advances in configurable epochs. Every epoch
+//
+//  1. runs the workload mix end-to-end on the co-simulation engine
+//     (validating architectural results), accumulating per-FU stressed
+//     cycles through the aging-mitigation controller,
+//  2. converts each FU's duty cycle into effective stress-years under the
+//     paper's NBTI model (Eq. 1), accelerated by the epoch's
+//     temperature/Vdd conditions,
+//  3. kills cells whose projected delay degradation crosses the
+//     end-of-life threshold (death times interpolated within the epoch),
+//     and
+//  4. lets the DBT route the next epoch around the dead cells: the mapper
+//     places new translations on live FUs only and the controller skips
+//     pivots that would rotate a configuration onto a failure.
+//
+// The epoch outcome is a pure function of the fabric health state (fresh
+// allocator, cores and caches each epoch; the GPP reference is memoized),
+// so epochs between failure events are replayed from memo instead of
+// re-simulated — multi-decade horizons cost one co-simulation per distinct
+// fabric state.
+package lifetime
+
+import (
+	"fmt"
+	"math"
+
+	"agingcgra/internal/aging"
+	"agingcgra/internal/core"
+	"agingcgra/internal/dbt"
+	"agingcgra/internal/dse"
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/isa"
+	"agingcgra/internal/prog"
+)
+
+// Phase is one segment of a time-varying operating-point profile: the
+// conditions hold until UntilYears of simulated age.
+type Phase struct {
+	// UntilYears is the (exclusive) end of the phase; the last phase of a
+	// profile extends to the end of the simulation regardless.
+	UntilYears float64 `json:"until_years"`
+	// Cond is the operating point during the phase.
+	Cond aging.Conditions `json:"cond"`
+}
+
+// Scenario describes one long-horizon simulation: geometry × allocator ×
+// workload mix × operating-point profile.
+type Scenario struct {
+	// Name labels the scenario in results (default "<geom>/<allocator>").
+	Name string
+	// Geom is the fabric size (zero value: the BE design, 2x16).
+	Geom fabric.Geometry
+	// Factory builds the allocation strategy (nil: baseline).
+	Factory dse.AllocatorFactory
+	// Mix is the workload mix run once per epoch, by benchmark name; a name
+	// may repeat to weight it (default: the full ten-benchmark suite).
+	Mix []string
+	// Size is the workload input scale (default Tiny).
+	Size prog.Size
+	// EpochYears is the simulation step (default 0.5).
+	EpochYears float64
+	// MaxYears is the simulated horizon (default 15).
+	MaxYears float64
+	// Model is the NBTI end-of-life model (zero value: aging.NewModel, the
+	// paper's 10%-over-3-years calibration).
+	Model aging.Model
+	// Cond is the constant operating point (zero value: the model's
+	// calibration conditions, i.e. no acceleration). Ignored when Profile
+	// is set.
+	Cond aging.Conditions
+	// Profile optionally varies the operating point over time.
+	Profile []Phase
+	// Engine propagates engine options other than Geom/Allocator/
+	// Controller/Health (cache size, latencies, timing, ...).
+	Engine dbt.Options
+	// Refs memoizes stand-alone GPP references; RunScenarios installs a
+	// batch-wide cache automatically.
+	Refs *dse.RefCache
+}
+
+func (sc *Scenario) applyDefaults() {
+	if sc.Geom == (fabric.Geometry{}) {
+		sc.Geom = fabric.NewGeometry(2, 16)
+	}
+	if sc.Factory == nil {
+		sc.Factory = dse.BaselineFactory
+	}
+	if len(sc.Mix) == 0 {
+		sc.Mix = prog.Names()
+	}
+	if sc.EpochYears == 0 {
+		sc.EpochYears = 0.5
+	}
+	if sc.MaxYears == 0 {
+		sc.MaxYears = 15
+	}
+	if sc.Model == (aging.Model{}) {
+		sc.Model = aging.NewModel()
+	}
+	if sc.Cond == (aging.Conditions{}) {
+		sc.Cond = sc.Model.Cond
+	}
+	if sc.Refs == nil {
+		sc.Refs = dse.NewRefCache()
+	}
+}
+
+func (sc *Scenario) validate() error {
+	if err := sc.Geom.Validate(); err != nil {
+		return err
+	}
+	if err := sc.Model.Validate(); err != nil {
+		return err
+	}
+	if err := sc.Cond.Validate(); err != nil {
+		return err
+	}
+	for _, ph := range sc.Profile {
+		if err := ph.Cond.Validate(); err != nil {
+			return err
+		}
+	}
+	if sc.EpochYears <= 0 {
+		return fmt.Errorf("lifetime: epoch length %v years must be positive", sc.EpochYears)
+	}
+	if sc.MaxYears < sc.EpochYears {
+		return fmt.Errorf("lifetime: horizon %v years shorter than one epoch (%v)",
+			sc.MaxYears, sc.EpochYears)
+	}
+	for _, name := range sc.Mix {
+		if _, ok := prog.ByName(name); !ok {
+			return fmt.Errorf("lifetime: unknown benchmark %q in mix (want one of %v)",
+				name, prog.Names())
+		}
+	}
+	return nil
+}
+
+// condAt returns the operating point in effect at the given simulated age.
+func (sc *Scenario) condAt(years float64) aging.Conditions {
+	if len(sc.Profile) == 0 {
+		return sc.Cond
+	}
+	for _, ph := range sc.Profile {
+		if years < ph.UntilYears {
+			return ph.Cond
+		}
+	}
+	return sc.Profile[len(sc.Profile)-1].Cond
+}
+
+// EpochRecord is one step of the lifetime timeline.
+type EpochRecord struct {
+	// Epoch is the step index, Years the cumulative age at its end.
+	Epoch int     `json:"epoch"`
+	Years float64 `json:"years"`
+	// WorstUtil and MeanUtil are the epoch's per-FU duty-cycle extremes
+	// (the NBTI-relevant utilization of Section IV).
+	WorstUtil float64 `json:"worst_util"`
+	MeanUtil  float64 `json:"mean_util"`
+	// WorstDelay is the highest projected delay degradation among live
+	// cells at the end of the epoch; GuardbandFreq the matching safe clock.
+	WorstDelay    float64 `json:"worst_delay"`
+	GuardbandFreq float64 `json:"guardband_freq"`
+	// AliveFraction is the surviving share of the fabric after this epoch's
+	// failures; Deaths lists the cells that crossed end-of-life in it.
+	AliveFraction float64       `json:"alive_fraction"`
+	Deaths        []fabric.Cell `json:"deaths,omitempty"`
+	// Speedup is the epoch mix's GPP cycles / TransRec cycles: the
+	// effective acceleration left on the aging fabric. IPC is total
+	// instructions / total TransRec cycles.
+	Speedup  float64 `json:"speedup"`
+	IPC      float64 `json:"ipc"`
+	Offloads uint64  `json:"offloads"`
+	// Replayed marks epochs whose co-simulation was reused from the memo
+	// because the fabric health did not change.
+	Replayed bool `json:"replayed,omitempty"`
+}
+
+// Result is the lifetime timeline of one scenario.
+type Result struct {
+	Name          string          `json:"name"`
+	Geom          fabric.Geometry `json:"geom"`
+	AllocatorName string          `json:"allocator"`
+	Mix           []string        `json:"mix"`
+	Size          string          `json:"size"`
+	EpochYears    float64         `json:"epoch_years"`
+	MaxYears      float64         `json:"max_years"`
+
+	Timeline []EpochRecord `json:"timeline"`
+
+	// FirstDeathYears is the interpolated age of the first FU failure
+	// (0 when every cell survived the horizon).
+	FirstDeathYears float64 `json:"first_death_years"`
+	// TotalDeaths and AliveFraction summarize the end state.
+	TotalDeaths   int     `json:"total_deaths"`
+	AliveFraction float64 `json:"alive_fraction"`
+	// InitialSpeedup and FinalSpeedup bracket the performance decay.
+	InitialSpeedup float64 `json:"initial_speedup"`
+	FinalSpeedup   float64 `json:"final_speedup"`
+}
+
+// epochRun is the co-simulation outcome of one epoch: a pure function of
+// the fabric health state, so it is memoized across failure-free epochs.
+type epochRun struct {
+	gppCycles uint64
+	trCycles  uint64
+	instrs    uint64
+	offloads  uint64
+	util      *core.UtilizationMap
+}
+
+// Run simulates one scenario to its horizon.
+func Run(sc Scenario) (*Result, error) {
+	sc.applyDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+
+	allocName := sc.Factory(sc.Geom).Name()
+	if sc.Name == "" {
+		sc.Name = fmt.Sprintf("%s/%s", sc.Geom, allocName)
+	}
+	res := &Result{
+		Name:          sc.Name,
+		Geom:          sc.Geom,
+		AllocatorName: allocName,
+		Mix:           sc.Mix,
+		Size:          sc.Size.String(),
+		EpochYears:    sc.EpochYears,
+		MaxYears:      sc.MaxYears,
+	}
+
+	health := fabric.NewHealth(sc.Geom)
+	n := sc.Geom.NumFUs()
+	// stressYears[i] is the accumulated t·u product of cell i in
+	// calibration-equivalent years: Eq. 1 depends on t and u only through
+	// t·u, so a cell dies when its stressYears reach CalibYears·CalibUtil.
+	stressYears := make([]float64, n)
+	threshold := sc.Model.CalibYears * sc.Model.CalibUtil
+
+	var last *epochRun
+	lastVersion := ^uint64(0)
+	years := 0.0
+	epochs := int(math.Ceil(sc.MaxYears/sc.EpochYears - 1e-9))
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		epochLen := sc.EpochYears
+		if years+epochLen > sc.MaxYears {
+			epochLen = sc.MaxYears - years
+		}
+
+		run := last
+		replayed := run != nil && lastVersion == health.Version()
+		if !replayed {
+			r, err := runEpoch(&sc, health)
+			if err != nil {
+				return nil, fmt.Errorf("lifetime: %s epoch %d: %w", sc.Name, epoch, err)
+			}
+			run, last, lastVersion = r, r, health.Version()
+		}
+
+		// Age every live cell by the epoch, accelerated by the operating
+		// point in effect; cells crossing end-of-life die mid-epoch at the
+		// interpolated age but keep contributing until the epoch boundary
+		// (the epoch-granularity approximation).
+		accel := sc.Model.AccelerationFactor(sc.condAt(years))
+		var deaths []fabric.Cell
+		worstDelay := 0.0
+		for i := 0; i < n; i++ {
+			cell := fabric.Cell{Row: i / sc.Geom.Cols, Col: i % sc.Geom.Cols}
+			if health.Dead(cell) {
+				continue
+			}
+			rate := run.util.Duty[i] * accel
+			before := stressYears[i]
+			stressYears[i] += epochLen * rate
+			if stressYears[i] >= threshold && rate > 0 {
+				deathAge := years + (threshold-before)/rate
+				if res.FirstDeathYears == 0 || deathAge < res.FirstDeathYears {
+					res.FirstDeathYears = deathAge
+				}
+				health.Kill(cell)
+				deaths = append(deaths, cell)
+				continue
+			}
+			if d := sc.Model.DelayIncrease(stressYears[i], 1); d > worstDelay {
+				worstDelay = d
+			}
+		}
+		years += epochLen
+
+		worstUtil, _ := run.util.Max()
+		speedup := 0.0
+		if run.trCycles > 0 {
+			speedup = float64(run.gppCycles) / float64(run.trCycles)
+		}
+		ipc := 0.0
+		if run.trCycles > 0 {
+			ipc = float64(run.instrs) / float64(run.trCycles)
+		}
+		res.Timeline = append(res.Timeline, EpochRecord{
+			Epoch:         epoch,
+			Years:         years,
+			WorstUtil:     worstUtil,
+			MeanUtil:      run.util.Avg(),
+			WorstDelay:    worstDelay,
+			GuardbandFreq: 1 / (1 + worstDelay),
+			AliveFraction: health.AliveFraction(),
+			Deaths:        deaths,
+			Speedup:       speedup,
+			IPC:           ipc,
+			Offloads:      run.offloads,
+			Replayed:      replayed,
+		})
+		res.TotalDeaths += len(deaths)
+	}
+
+	res.AliveFraction = health.AliveFraction()
+	if len(res.Timeline) > 0 {
+		res.InitialSpeedup = res.Timeline[0].Speedup
+		res.FinalSpeedup = res.Timeline[len(res.Timeline)-1].Speedup
+	}
+	return res, nil
+}
+
+// runEpoch co-simulates the workload mix once on the current fabric state:
+// a fresh allocator and controller (sharing one fabric across the mix, as a
+// deployed chip would within an epoch), fresh engines and caches, and the
+// scenario's health map wired into both the mapper and the placement.
+func runEpoch(sc *Scenario, health *fabric.Health) (*epochRun, error) {
+	ctrl, err := core.NewController(sc.Geom, sc.Factory(sc.Geom))
+	if err != nil {
+		return nil, err
+	}
+	ctrl.SetHealth(health)
+
+	run := &epochRun{}
+	for _, name := range sc.Mix {
+		b, _ := prog.ByName(name) // validated up front
+		ref, err := sc.Refs.Get(b, sc.Size, sc.Engine.Timing)
+		if err != nil {
+			return nil, fmt.Errorf("%s gpp-only: %w", name, err)
+		}
+
+		ct, err := b.NewCore(sc.Size)
+		if err != nil {
+			return nil, err
+		}
+		eopts := sc.Engine
+		eopts.Geom = sc.Geom
+		eopts.Controller = ctrl
+		eopts.Health = health
+		eng, err := dbt.NewEngine(eopts)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := eng.Run(ct, b.MaxInstructions)
+		if err != nil {
+			return nil, fmt.Errorf("%s transrec: %w", name, err)
+		}
+		// Architectural correctness must survive failures: the DBT maps
+		// and places around dead cells, never through them.
+		if err := b.Check(ct.Mem, ct.Regs[isa.A0], sc.Size); err != nil {
+			return nil, fmt.Errorf("%s wrong result on degraded fabric: %w", name, err)
+		}
+
+		run.gppCycles += ref.Cycles
+		run.trCycles += rep.TotalCycles
+		run.instrs += rep.TotalInstrs
+		run.offloads += rep.Offloads
+	}
+	run.util = ctrl.Utilization()
+	return run, nil
+}
+
+// RunScenarios simulates a batch of scenarios over a worker pool (workers
+// <= 0 selects all CPUs, 1 forces the serial path). Results are ordered by
+// scenario index and byte-identical to a serial run; the stand-alone GPP
+// references are shared across the batch.
+func RunScenarios(scs []Scenario, workers int) ([]*Result, error) {
+	refs := dse.NewRefCache()
+	out := make([]*Result, len(scs))
+	err := dse.ForEach(len(scs), workers, func(i int) error {
+		sc := scs[i]
+		if sc.Refs == nil {
+			sc.Refs = refs
+		}
+		r, err := Run(sc)
+		out[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

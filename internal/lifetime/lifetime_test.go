@@ -1,0 +1,188 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+
+	"agingcgra/internal/aging"
+	"agingcgra/internal/dse"
+	"agingcgra/internal/fabric"
+)
+
+// beScenario is the fast test scenario: the BE design with a single-kernel
+// mix at tiny scale.
+func beScenario(factory dse.AllocatorFactory, maxYears float64) Scenario {
+	return Scenario{
+		Geom:       fabric.NewGeometry(2, 16),
+		Factory:    factory,
+		Mix:        []string{"crc32"},
+		EpochYears: 0.25,
+		MaxYears:   maxYears,
+	}
+}
+
+func TestRunBaselineTimeline(t *testing.T) {
+	res, err := Run(beScenario(dse.BaselineFactory, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Timeline), 24; got != want {
+		t.Fatalf("timeline length %d, want %d", got, want)
+	}
+	// The baseline concentrates stress: some FU sits at duty ~1, so the
+	// first death lands at the model's 3-year calibration point.
+	if math.Abs(res.FirstDeathYears-3.0) > 0.11 {
+		t.Errorf("baseline first death at %v years, want ~3 (worst duty ~1)", res.FirstDeathYears)
+	}
+	if res.TotalDeaths == 0 || res.AliveFraction >= 1 {
+		t.Errorf("expected deaths over 6 years: %d dead, alive %v", res.TotalDeaths, res.AliveFraction)
+	}
+	first := res.Timeline[0]
+	if first.WorstUtil <= 0.9 {
+		t.Errorf("baseline worst duty %v, want ~1 (Fig. 1's concentrated wear)", first.WorstUtil)
+	}
+	if first.Speedup <= 1 {
+		t.Errorf("healthy BE fabric should accelerate crc32, got speedup %v", first.Speedup)
+	}
+	// Monotone time, alive fraction never increasing, guardband consistent.
+	years := 0.0
+	alive := 1.0
+	for i, rec := range res.Timeline {
+		if rec.Years <= years {
+			t.Fatalf("epoch %d: years %v not increasing", i, rec.Years)
+		}
+		years = rec.Years
+		if rec.AliveFraction > alive {
+			t.Fatalf("epoch %d: alive fraction grew %v -> %v", i, alive, rec.AliveFraction)
+		}
+		alive = rec.AliveFraction
+		if want := 1 / (1 + rec.WorstDelay); math.Abs(rec.GuardbandFreq-want) > 1e-12 {
+			t.Fatalf("epoch %d: guardband %v inconsistent with delay %v", i, rec.GuardbandFreq, rec.WorstDelay)
+		}
+	}
+}
+
+func TestEpochMemoizationOnlyAcrossUnchangedHealth(t *testing.T) {
+	res, err := Run(beScenario(dse.BaselineFactory, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline[0].Replayed {
+		t.Error("first epoch can never be a replay")
+	}
+	sawReplay := false
+	for i := 1; i < len(res.Timeline); i++ {
+		prev, cur := res.Timeline[i-1], res.Timeline[i]
+		if cur.Replayed {
+			sawReplay = true
+			if len(prev.Deaths) > 0 {
+				t.Errorf("epoch %d replayed although epoch %d killed cells", i, i-1)
+			}
+			if cur.Speedup != prev.Speedup || cur.WorstUtil != prev.WorstUtil {
+				t.Errorf("epoch %d: replayed run differs from predecessor", i)
+			}
+		} else if len(prev.Deaths) == 0 {
+			t.Errorf("epoch %d re-simulated although health did not change", i)
+		}
+	}
+	if !sawReplay {
+		t.Error("expected memoized epochs between failure events")
+	}
+}
+
+func TestRotationOutlivesBaseline(t *testing.T) {
+	base, err := Run(beScenario(dse.BaselineFactory, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := Run(beScenario(dse.ProposedFactory, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.FirstDeathYears == 0 || prop.FirstDeathYears == 0 {
+		t.Fatalf("expected deaths in both scenarios: base %v, prop %v",
+			base.FirstDeathYears, prop.FirstDeathYears)
+	}
+	if prop.FirstDeathYears <= base.FirstDeathYears {
+		t.Fatalf("utilization-aware first death %v should be after baseline %v",
+			prop.FirstDeathYears, base.FirstDeathYears)
+	}
+}
+
+func TestHotterConditionsShortenLifetime(t *testing.T) {
+	nominal := beScenario(dse.BaselineFactory, 6)
+	hot := beScenario(dse.BaselineFactory, 6)
+	hot.Cond = aging.DefaultConditions()
+	hot.Cond.TemperatureK += 30
+
+	rn, err := Run(nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := Run(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.FirstDeathYears == 0 || rh.FirstDeathYears == 0 {
+		t.Fatal("expected deaths in both runs")
+	}
+	if rh.FirstDeathYears >= rn.FirstDeathYears {
+		t.Errorf("hot part first death %v, want earlier than nominal %v",
+			rh.FirstDeathYears, rn.FirstDeathYears)
+	}
+	af := rn.FirstDeathYears / rh.FirstDeathYears
+	m := aging.NewModel()
+	if want := m.AccelerationFactor(hot.Cond); math.Abs(af-want)/want > 0.15 {
+		t.Errorf("lifetime ratio %v, want ~acceleration factor %v", af, want)
+	}
+}
+
+func TestProfileSwitchesConditions(t *testing.T) {
+	// Two years cool, then hot: the first death must land between the
+	// all-cool and all-hot extremes.
+	hot := aging.DefaultConditions()
+	hot.TemperatureK += 30
+	sc := beScenario(dse.BaselineFactory, 6)
+	sc.Profile = []Phase{
+		{UntilYears: 2, Cond: aging.DefaultConditions()},
+		{UntilYears: math.Inf(1), Cond: hot},
+	}
+	mixed, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allCool, err := Run(beScenario(dse.BaselineFactory, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scHot := beScenario(dse.BaselineFactory, 6)
+	scHot.Cond = hot
+	allHot, err := Run(scHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mixed.FirstDeathYears > allHot.FirstDeathYears &&
+		mixed.FirstDeathYears < allCool.FirstDeathYears) {
+		t.Errorf("mixed-profile first death %v, want within (%v, %v)",
+			mixed.FirstDeathYears, allHot.FirstDeathYears, allCool.FirstDeathYears)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := beScenario(nil, 6)
+	bad.Mix = []string{"no-such-kernel"}
+	if _, err := Run(bad); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	bad = beScenario(nil, 6)
+	bad.EpochYears = -1
+	if _, err := Run(bad); err == nil {
+		t.Error("negative epoch accepted")
+	}
+	bad = beScenario(nil, 0.1)
+	bad.EpochYears = 0.5
+	bad.MaxYears = 0.1
+	if _, err := Run(bad); err == nil {
+		t.Error("horizon shorter than one epoch accepted")
+	}
+}
