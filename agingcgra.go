@@ -25,6 +25,7 @@ import (
 	"agingcgra/internal/dbt"
 	"agingcgra/internal/dse"
 	"agingcgra/internal/energy"
+	"agingcgra/internal/explore"
 	"agingcgra/internal/fabric"
 	"agingcgra/internal/gpp"
 	"agingcgra/internal/isa"
@@ -70,6 +71,7 @@ func AllocatorNames() []string {
 		"utilization-aware-vertical",
 		"utilization-aware-shuffled",
 		"health-aware",
+		"explore",
 	}
 }
 
@@ -92,6 +94,8 @@ func NewAllocator(name string, g Geometry) (Allocator, error) {
 		return alloc.NewUtilizationAware(g, alloc.WithPattern(alloc.Shuffled{})), nil
 	case "health-aware":
 		return alloc.NewHealthAware(g, 16), nil
+	case "explore", "wear-aware", "explorer":
+		return explore.New(g), nil
 	}
 	return nil, fmt.Errorf("agingcgra: unknown allocator %q (want one of %v)", name, AllocatorNames())
 }
@@ -245,6 +249,14 @@ type LifetimeConfig struct {
 	Vdd          float64
 }
 
+// lifetimeRefs memoizes the stand-alone GPP reference runs across every
+// facade-level lifetime entry point. The reference is a pure function of
+// (benchmark, size, timing) — independent of geometry, allocator, health
+// and wear — so one process-wide cache lets a baseline/snake/explore
+// comparison (and any warm-up run before it) pay for each reference exactly
+// once instead of once per allocator.
+var lifetimeRefs = dse.NewRefCache()
+
 func (c LifetimeConfig) scenario() (lifetime.Scenario, error) {
 	rows, cols := c.Rows, c.Cols
 	if rows == 0 {
@@ -289,6 +301,7 @@ func (c LifetimeConfig) scenario() (lifetime.Scenario, error) {
 		MaxYears:   c.MaxYears,
 		Model:      model,
 		Cond:       cond,
+		Refs:       lifetimeRefs,
 	}, nil
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	cgra-dse -size small -csv fig6.csv
+//	cgra-dse -allocator explore        # sweep with the wear-aware explorer
 package main
 
 import (
@@ -20,13 +21,17 @@ func main() {
 	sizeName := flag.String("size", "small", "input size: tiny, small, large")
 	csvPath := flag.String("csv", "", "also write the points as CSV to this file")
 	workers := flag.Int("workers", 0, "parallel design points (0 = all CPUs, 1 = serial)")
+	allocator := flag.String("allocator", "baseline",
+		"allocation strategy to sweep with (baseline, utilization-aware, explore, ...)")
 	flag.Parse()
 
 	size, err := parseSize(*sizeName)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := agingcgra.Fig6(agingcgra.ExperimentOptions{Size: size, Workers: *workers})
+	res, err := agingcgra.Fig6(agingcgra.ExperimentOptions{
+		Size: size, Workers: *workers, Allocator: *allocator,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,14 +1,17 @@
 // cgra-lifetime plays a TransRec fabric forward through years of operation:
 // multi-year NBTI aging per Eq. 1, end-of-life failure injection, and
 // DBT remapping around dead FUs, for one scenario per selected allocator.
-// It prints a human-readable comparison and emits the full timelines as
-// machine-readable JSON.
+// It prints a human-readable comparison — the headline is the three-way
+// baseline / snake / explore time-to-first/second/third-death table — and
+// emits the full timelines as machine-readable JSON. The stand-alone GPP
+// reference is memoized across all selected allocators: adding the explorer
+// as a third co-simulation pass does not recompute it.
 //
 // Usage:
 //
-//	cgra-lifetime                                   # BE design, baseline vs proposed
+//	cgra-lifetime                                   # BE design, baseline vs snake vs explore
 //	cgra-lifetime -rows 8 -cols 32 -years 40 \
-//	    -allocators baseline,utilization-aware,health-aware \
+//	    -allocators baseline,utilization-aware,health-aware,explore \
 //	    -bench crc32,sha -epoch 0.25 -o lifetime.json
 package main
 
@@ -33,7 +36,7 @@ type Output struct {
 func main() {
 	rows := flag.Int("rows", 2, "fabric rows W")
 	cols := flag.Int("cols", 16, "fabric columns L")
-	allocators := flag.String("allocators", "baseline,utilization-aware",
+	allocators := flag.String("allocators", "baseline,utilization-aware,explore",
 		"comma-separated allocation strategies to compare")
 	bench := flag.String("bench", "", "comma-separated workload mix (default: full suite)")
 	sizeName := flag.String("size", "tiny", "workload size: tiny, small, large")
@@ -95,26 +98,48 @@ func main() {
 }
 
 func printSummary(results []*agingcgra.LifetimeResult) {
-	fmt.Fprintf(os.Stderr, "%-42s %12s %8s %8s %10s %10s\n",
-		"scenario", "first death", "deaths", "alive", "speedup@0", "speedup@end")
+	fmt.Fprintf(os.Stderr, "%-42s %10s %10s %10s %8s %8s %10s %10s\n",
+		"scenario", "1st death", "2nd death", "3rd death", "deaths", "alive", "speedup@0", "speedup@end")
 	for _, r := range results {
-		first := "none"
-		if r.FirstDeathYears > 0 {
-			first = fmt.Sprintf("%.2f y", r.FirstDeathYears)
-		}
-		fmt.Fprintf(os.Stderr, "%-42s %12s %8d %7.0f%% %10.2f %10.2f\n",
-			r.Name, first, r.TotalDeaths, 100*r.AliveFraction,
+		fmt.Fprintf(os.Stderr, "%-42s %10s %10s %10s %8d %7.0f%% %10.2f %10.2f\n",
+			r.Name, deathAge(r, 1), deathAge(r, 2), deathAge(r, 3),
+			r.TotalDeaths, 100*r.AliveFraction,
 			r.InitialSpeedup, r.FinalSpeedup)
 	}
-	if len(results) == 2 && results[0].FirstDeathYears > 0 && results[1].FirstDeathYears > 0 {
-		longer, shorter := results[0], results[1]
-		if shorter.FirstDeathYears > longer.FirstDeathYears {
-			longer, shorter = shorter, longer
+	// Rank against the shortest-lived scenario per death index: the paper's
+	// Table I phrasing generalised from first failure to the n-th. A
+	// scenario with no n-th death *survived* — the best outcome, not
+	// missing data — so the ratio line only makes sense when every
+	// scenario reached that death count.
+	for n := 1; n <= 3; n++ {
+		var longest, shortest *agingcgra.LifetimeResult
+		for _, r := range results {
+			if r.NthDeathYears(n) == 0 {
+				fmt.Fprintf(os.Stderr, "%s reaches the horizon without death #%d (outlives all)\n",
+					r.AllocatorName, n)
+				longest, shortest = nil, nil
+				break
+			}
+			if shortest == nil || r.NthDeathYears(n) < shortest.NthDeathYears(n) {
+				shortest = r
+			}
+			if longest == nil || r.NthDeathYears(n) > longest.NthDeathYears(n) {
+				longest = r
+			}
 		}
-		fmt.Fprintf(os.Stderr, "\n%s outlives %s to first failure by %.2fx (paper: the worst-utilization ratio)\n",
-			longer.AllocatorName, shorter.AllocatorName,
-			longer.FirstDeathYears/shorter.FirstDeathYears)
+		if longest != nil && shortest != nil && longest != shortest {
+			fmt.Fprintf(os.Stderr, "%s outlives %s to death #%d by %.2fx\n",
+				longest.AllocatorName, shortest.AllocatorName, n,
+				longest.NthDeathYears(n)/shortest.NthDeathYears(n))
+		}
 	}
+}
+
+func deathAge(r *agingcgra.LifetimeResult, n int) string {
+	if y := r.NthDeathYears(n); y > 0 {
+		return fmt.Sprintf("%.2f y", y)
+	}
+	return "none"
 }
 
 func parseSize(s string) (agingcgra.Size, error) {

@@ -14,6 +14,7 @@ import (
 
 	"agingcgra/internal/alloc"
 	"agingcgra/internal/dbt"
+	"agingcgra/internal/explore"
 	"agingcgra/internal/fabric"
 	"agingcgra/internal/prog"
 	"agingcgra/internal/report"
@@ -24,7 +25,7 @@ func main() {
 	bench, _ := prog.ByName("sha")
 
 	// Reference: the healthy fabric.
-	healthy := run(bench, geom, fabric.NewHealth(geom), "baseline")
+	healthy := run(bench, geom, fabric.NewHealth(geom), "baseline").TotalCycles
 	fmt.Printf("healthy fabric: %d cycles\n\n", healthy)
 
 	// Kill FUs in the order the baseline allocator stresses them: the
@@ -37,22 +38,30 @@ func main() {
 	}
 
 	tab := &report.Table{Header: []string{
-		"dead FUs", "baseline cycles", "slowdown", "rotated cycles", "slowdown"}}
+		"dead FUs", "baseline cycles", "slowdown", "rotated cycles", "slowdown",
+		"rot worst duty", "explore worst duty"}}
 	healthBase := fabric.NewHealth(geom)
 	healthRot := fabric.NewHealth(geom)
+	healthExp := fabric.NewHealth(geom)
 	for i := 0; i <= len(killOrder); i++ {
 		if i > 0 {
 			healthBase.Kill(killOrder[i-1])
 			healthRot.Kill(killOrder[i-1])
+			healthExp.Kill(killOrder[i-1])
 		}
 		base := run(bench, geom, healthBase, "baseline")
 		rot := run(bench, geom, healthRot, "snake")
+		exp := run(bench, geom, healthExp, "explore")
+		rotWorst, _ := rot.Util.Max()
+		expWorst, _ := exp.Util.Max()
 		tab.AddRow(
 			fmt.Sprintf("%d", healthBase.DeadCount()),
-			fmt.Sprintf("%d", base),
-			fmt.Sprintf("%+.1f%%", 100*(float64(base)/float64(healthy)-1)),
-			fmt.Sprintf("%d", rot),
-			fmt.Sprintf("%+.1f%%", 100*(float64(rot)/float64(healthy)-1)),
+			fmt.Sprintf("%d", base.TotalCycles),
+			fmt.Sprintf("%+.1f%%", 100*(float64(base.TotalCycles)/float64(healthy)-1)),
+			fmt.Sprintf("%d", rot.TotalCycles),
+			fmt.Sprintf("%+.1f%%", 100*(float64(rot.TotalCycles)/float64(healthy)-1)),
+			fmt.Sprintf("%.1f%%", 100*rotWorst),
+			fmt.Sprintf("%.1f%%", 100*expWorst),
 		)
 	}
 	fmt.Print(tab.String())
@@ -62,26 +71,33 @@ func main() {
 	fmt.Println("and the pivot skip is free: rotated and baseline cycles match even")
 	fmt.Println("on the damaged fabric (placement moves stress, not latency) —")
 	fmt.Println("but every dead FU near the hot corner costs ILP and stretches the")
-	fmt.Println("configurations. This is precisely the failure mode the paper's")
-	fmt.Println("utilization-aware allocation postpones by 2.3-8x; run")
-	fmt.Println("cmd/cgra-lifetime to watch the whole multi-year trajectory.")
+	fmt.Println("configurations, and the blind rotation's skip-scan re-concentrates")
+	fmt.Println("duty on whichever survivors follow the dead cells in the pattern")
+	fmt.Println("(the 'rot worst duty' climb). The wear-aware placement explorer")
+	fmt.Println("instead searches the live pivots for the placement minimising the")
+	fmt.Println("maximum projected ΔVt, keeping survivor duty flat as the fabric")
+	fmt.Println("shrinks. Run cmd/cgra-lifetime for the multi-year three-way view.")
 }
 
 // run executes the benchmark against the given fabric health and returns
-// total cycles. Dead cells force the mapper and the placement elsewhere.
-func run(bench *prog.Benchmark, geom fabric.Geometry, health *fabric.Health, allocator string) uint64 {
+// the report. Dead cells force the mapper and the placement elsewhere.
+func run(bench *prog.Benchmark, geom fabric.Geometry, health *fabric.Health, allocator string) *dbt.Report {
 	core, err := bench.NewCore(prog.Tiny)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var a alloc.Allocator = alloc.Baseline{}
-	if allocator == "snake" {
+	switch allocator {
+	case "snake":
 		a = alloc.NewUtilizationAware(geom)
+	case "explore":
+		a = explore.New(geom)
 	}
 	eng, err := dbt.NewEngine(dbt.Options{
 		Geom:      geom,
 		Allocator: a,
 		Health:    health,
+		Wear:      fabric.NewWear(geom),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -94,5 +110,5 @@ func run(bench *prog.Benchmark, geom fabric.Geometry, health *fabric.Health, all
 	if err := bench.Check(core.Mem, core.Regs[10], prog.Tiny); err != nil {
 		log.Fatal(err)
 	}
-	return rep.TotalCycles
+	return rep
 }

@@ -57,27 +57,33 @@ func main() {
 	fmt.Print(env.String())
 	fmt.Println()
 
-	// 3. The multi-year simulation: play the BE design forward under both
-	// allocators with a crc32+sha duty mix and watch the first failures.
+	// 3. The multi-year simulation: play the BE design forward under all
+	// three allocators with a crc32+sha duty mix — the blind rotation, the
+	// baseline, and the wear-aware placement explorer that keeps adapting
+	// to the accumulated stress map as FUs age and die.
 	fmt.Println("simulating 20 years of the BE design (crc32+sha mix, 0.5-year epochs):")
 	results, err := agingcgra.RunLifetimes([]agingcgra.LifetimeConfig{
 		{Allocator: "baseline", Benchmarks: []string{"crc32", "sha"}, MaxYears: 20},
 		{Allocator: "utilization-aware", Benchmarks: []string{"crc32", "sha"}, MaxYears: 20},
+		{Allocator: "explore", Benchmarks: []string{"crc32", "sha"}, MaxYears: 20},
 	}, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	sim := &report.Table{Header: []string{
-		"scenario", "worst util", "first death", "dead @ 20y", "speedup @ 0y", "speedup @ 20y"}}
+		"scenario", "worst util", "1st death", "2nd death", "dead @ 20y", "speedup @ 0y", "speedup @ 20y"}}
 	for _, r := range results {
-		first := "none"
-		if r.FirstDeathYears > 0 {
-			first = fmt.Sprintf("%.1f years", r.FirstDeathYears)
+		death := func(n int) string {
+			if y := r.NthDeathYears(n); y > 0 {
+				return fmt.Sprintf("%.1f years", y)
+			}
+			return "none"
 		}
 		sim.AddRow(
 			r.AllocatorName,
 			fmt.Sprintf("%.1f%%", 100*r.Timeline[0].WorstUtil),
-			first,
+			death(1),
+			death(2),
 			fmt.Sprintf("%d FUs", r.TotalDeaths),
 			fmt.Sprintf("%.2fx", r.InitialSpeedup),
 			fmt.Sprintf("%.2fx", r.FinalSpeedup),

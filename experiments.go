@@ -23,6 +23,31 @@ type ExperimentOptions struct {
 	// Workers bounds design-point parallelism: 0 selects runtime.NumCPU,
 	// 1 forces the serial path. Outputs are identical either way.
 	Workers int
+	// Allocator names the allocation strategy Fig6 sweeps with (default
+	// "baseline", the paper's setting; "explore" sweeps the wear-aware
+	// placement explorer instead). See AllocatorNames.
+	Allocator string
+}
+
+// allocatorFactory lowers the named strategy onto the sweep engine; the
+// name is validated up front so the factory itself cannot fail.
+func (o ExperimentOptions) allocatorFactory() (dse.AllocatorFactory, error) {
+	if o.Allocator == "" {
+		return dse.BaselineFactory, nil
+	}
+	if _, err := NewAllocator(o.Allocator, fabric.NewGeometry(2, 16)); err != nil {
+		return nil, err
+	}
+	name := o.Allocator
+	return func(g fabric.Geometry) Allocator {
+		a, err := NewAllocator(name, g)
+		if err != nil {
+			// Validated above; a geometry-dependent failure here must not
+			// silently run the baseline under the requested label.
+			panic(err)
+		}
+		return a
+	}, nil
 }
 
 // dseOptions lowers the facade options onto the sweep engine, installing a
@@ -100,9 +125,14 @@ type Fig6Result struct {
 	suiteByPt []*SuiteResult
 }
 
-// Fig6 sweeps the 12 fabric sizes with the baseline system.
+// Fig6 sweeps the 12 fabric sizes with the configured allocator (default
+// baseline, the paper's setting).
 func Fig6(opt ExperimentOptions) (*Fig6Result, error) {
-	results, err := dse.Sweep(nil, dse.BaselineFactory, opt.dseOptions())
+	factory, err := opt.allocatorFactory()
+	if err != nil {
+		return nil, err
+	}
+	results, err := dse.Sweep(nil, factory, opt.dseOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -31,6 +31,15 @@ type HealthSetter interface {
 	SetHealth(*fabric.Health)
 }
 
+// WearSetter is implemented by allocators that adapt to accumulated
+// cross-epoch NBTI wear; the controller forwards the fabric's wear map on
+// SetWear. Within-run stress feedback stays on StressObserver — the wear map
+// carries the multi-year history the lifetime simulator accrues between
+// epochs, which a fresh per-epoch allocator could not otherwise see.
+type WearSetter interface {
+	SetWear(*fabric.Wear)
+}
+
 // NewHealthAware builds the stress-feedback allocator. recomputeEvery <= 0
 // defaults to 16.
 func NewHealthAware(g fabric.Geometry, recomputeEvery int) *HealthAware {

@@ -180,8 +180,8 @@ func denseCacheEqual(t *testing.T, c *Cache, base uint32, n int) {
 func TestDenseTableTracksMutations(t *testing.T) {
 	const base, window = 0x1000, 64
 	c := New(4, LRU)
-	c.Insert(cfg(base))            // resident before the table exists
-	c.EnableDense(base, window)    // must index existing entries
+	c.Insert(cfg(base))         // resident before the table exists
+	c.EnableDense(base, window) // must index existing entries
 	denseCacheEqual(t, c, base, window)
 
 	for _, pc := range []uint32{base + 8, base + 16, base + 24, base + 32} {

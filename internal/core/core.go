@@ -138,6 +138,7 @@ type Controller struct {
 	alloc   alloc.Allocator
 	tracker *Tracker
 	health  *fabric.Health
+	wear    *fabric.Wear
 }
 
 // NewController builds a controller for geometry g using allocator a.
@@ -170,6 +171,22 @@ func (c *Controller) SetHealth(h *fabric.Health) {
 
 // Health returns the attached health map (nil when none).
 func (c *Controller) Health() *fabric.Health { return c.health }
+
+// SetWear attaches the fabric's accumulated-wear map; wear-adaptive
+// allocators (alloc.WearSetter) receive it so their placement search can
+// steer new configurations away from the most-degraded FUs. The controller
+// itself never rejects a placement on wear — unlike a dead cell, a worn
+// cell still computes correctly — so unlike SetHealth this only feeds the
+// allocator.
+func (c *Controller) SetWear(w *fabric.Wear) {
+	c.wear = w
+	if ws, ok := c.alloc.(alloc.WearSetter); ok {
+		ws.SetWear(w)
+	}
+}
+
+// Wear returns the attached wear map (nil when none).
+func (c *Controller) Wear() *fabric.Wear { return c.wear }
 
 // Place asks the allocation strategy for the pivot of the upcoming execution
 // of cfg. When a health map with failed cells is attached, pivots that would

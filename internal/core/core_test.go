@@ -174,3 +174,42 @@ func TestRotationPreservesTotalStress(t *testing.T) {
 		t.Errorf("rotation did not reduce max duty: baseline %v, rotated %v", bMax, rMax)
 	}
 }
+
+// wearSpy records the maps a controller forwards to a wear-adaptive
+// allocator.
+type wearSpy struct {
+	alloc.Baseline
+	wear   *fabric.Wear
+	health *fabric.Health
+}
+
+func (s *wearSpy) SetWear(w *fabric.Wear)     { s.wear = w }
+func (s *wearSpy) SetHealth(h *fabric.Health) { s.health = h }
+
+// TestControllerForwardsWear pins the feedback plumbing the wear-aware
+// explorer depends on: SetWear reaches alloc.WearSetter implementations and
+// is exposed through Wear(), symmetrically to SetHealth/HealthSetter.
+func TestControllerForwardsWear(t *testing.T) {
+	g := fabric.NewGeometry(2, 4)
+	spy := &wearSpy{}
+	ctrl, err := NewController(g, spy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Wear() != nil {
+		t.Error("fresh controller has a wear map")
+	}
+	w := fabric.NewWear(g)
+	ctrl.SetWear(w)
+	if ctrl.Wear() != w {
+		t.Error("Wear() does not return the attached map")
+	}
+	if spy.wear != w {
+		t.Error("SetWear not forwarded to the wear-adaptive allocator")
+	}
+	h := fabric.NewHealth(g)
+	ctrl.SetHealth(h)
+	if spy.health != h {
+		t.Error("SetHealth not forwarded to the health-adaptive allocator")
+	}
+}

@@ -80,6 +80,15 @@ type Options struct {
 	// pivot offsets that would rotate a configuration onto a dead FU). When
 	// both Health and DisabledCells are set, Health wins.
 	Health *fabric.Health
+	// Wear is the fabric's accumulated cross-epoch NBTI stress map.
+	// Wear-adaptive allocators (alloc.WearSetter) receive it through the
+	// controller and re-explore their placement whenever its version
+	// changes; the engine then observes the new pivot through the resident
+	// (StartPC, Offset) identity and accounts a reconfiguration event,
+	// exactly as it does when a kill forces the placement off a dead cell.
+	// Wear never affects placeability — a worn FU still computes — so the
+	// unplaceable memo below stays keyed on health alone.
+	Wear *fabric.Wear
 }
 
 func (o *Options) applyDefaults() {
@@ -263,6 +272,11 @@ func NewEngine(opts Options) (*Engine, error) {
 		if opts.Controller == nil {
 			ctrl.SetHealth(health)
 		}
+	}
+	// Same ownership rule for the wear map: an engine-owned controller
+	// adopts it so wear-adaptive allocators see the aging history.
+	if opts.Wear != nil && opts.Controller == nil {
+		ctrl.SetWear(opts.Wear)
 	}
 	return e, nil
 }

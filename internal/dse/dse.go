@@ -12,6 +12,7 @@ import (
 	"agingcgra/internal/core"
 	"agingcgra/internal/dbt"
 	"agingcgra/internal/energy"
+	"agingcgra/internal/explore"
 	"agingcgra/internal/fabric"
 	"agingcgra/internal/prog"
 )
@@ -25,6 +26,12 @@ func BaselineFactory(fabric.Geometry) alloc.Allocator { return alloc.Baseline{} 
 // ProposedFactory builds the paper's utilization-aware allocator with the
 // default snake pattern.
 func ProposedFactory(g fabric.Geometry) alloc.Allocator { return alloc.NewUtilizationAware(g) }
+
+// ExploreFactory builds the wear-aware placement explorer: instead of
+// rotating blindly it searches the live pivots for the placement minimising
+// the maximum projected ΔVt, fed by the lifetime simulator's accumulated
+// wear map.
+func ExploreFactory(g fabric.Geometry) alloc.Allocator { return explore.New(g) }
 
 // BenchResult holds one benchmark's outcome on one design.
 type BenchResult struct {

@@ -1,0 +1,262 @@
+// Package explore implements the wear-aware placement explorer: the
+// HeLEx-style health/layout exploration the paper leaves as future work.
+//
+// The utilization-aware allocators balance duty a priori by rotating a
+// pivot; once cells start dying, the controller's skip-scan merely advances
+// that rotation to the first live pivot, so post-failure wear
+// re-concentrates on whichever survivors happen to sit next in the pattern.
+// The Explorer instead *chooses* among live placements: for every candidate
+// pivot of a translation it projects the post-placement wear of each FU the
+// configuration would touch — the accumulated stress-years threaded out of
+// the lifetime simulator (fabric.Wear) plus the pattern's observed duty
+// footprint projected over a short horizon — evaluates the projected ΔVt
+// under the paper's Eq. 1 NBTI model, and picks the placement minimising the
+// maximum projected ΔVt. Minimising the worst projected degradation is
+// exactly maximising the time until the next FU crosses the end-of-life
+// threshold.
+//
+// Because an exhaustive pivot search per execution would be costly in
+// hardware, the search runs every RecomputeEvery executions and the chosen
+// pivot is held in between; a health or wear state change forces an
+// immediate re-exploration, mirroring alloc.HealthAware.
+package explore
+
+import (
+	"fmt"
+	"math"
+
+	"agingcgra/internal/aging"
+	"agingcgra/internal/alloc"
+	"agingcgra/internal/fabric"
+)
+
+// Explorer is the wear-aware placement explorer. It implements
+// alloc.Allocator plus the three feedback interfaces the controller
+// forwards: HealthSetter (dead cells), WearSetter (cross-epoch
+// stress-years) and StressObserver (within-run duty).
+type Explorer struct {
+	geom  fabric.Geometry
+	model aging.Model
+	// horizonYears scales the within-run duty footprint into projected
+	// stress-years: the explorer assumes the observed allocation pattern
+	// persists for this long when ranking candidate placements.
+	horizonYears float64
+	// recomputeEvery is the pivot re-exploration period in executions.
+	recomputeEvery uint64
+
+	health    *fabric.Health
+	healthVer uint64
+	wear      *fabric.Wear
+	wearVer   uint64
+
+	// Within-run observed stress (physical cells, row-major), fed back by
+	// the controller on every committed execution.
+	stress []uint64
+	active uint64
+
+	count   uint64
+	current fabric.Offset
+
+	// cellVt caches the per-cell projected ΔVt of the last exploration; the
+	// projection depends only on the cell, not on the candidate pivot, so
+	// one pass amortises the Eq. 1 evaluation across the whole pivot scan.
+	cellVt []float64
+}
+
+// Option configures the Explorer.
+type Option func(*Explorer)
+
+// WithModel selects the NBTI model scoring projected wear (default
+// aging.NewModel, the paper's calibration).
+func WithModel(m aging.Model) Option {
+	return func(e *Explorer) { e.model = m }
+}
+
+// WithHorizon sets the projection horizon in years (default 1).
+func WithHorizon(years float64) Option {
+	return func(e *Explorer) {
+		if years > 0 {
+			e.horizonYears = years
+		}
+	}
+}
+
+// WithRecomputeEvery sets the pivot re-exploration period (default 16,
+// matching alloc.HealthAware).
+func WithRecomputeEvery(n int) Option {
+	return func(e *Explorer) {
+		if n >= 1 {
+			e.recomputeEvery = uint64(n)
+		}
+	}
+}
+
+// New builds a wear-aware placement explorer for the geometry.
+func New(g fabric.Geometry, opts ...Option) *Explorer {
+	e := &Explorer{
+		geom:           g,
+		model:          aging.NewModel(),
+		horizonYears:   1,
+		recomputeEvery: 16,
+		stress:         make([]uint64, g.NumFUs()),
+		cellVt:         make([]float64, g.NumFUs()),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Name implements alloc.Allocator.
+func (e *Explorer) Name() string {
+	return fmt.Sprintf("explore/every=%d", e.recomputeEvery)
+}
+
+// SetHealth implements alloc.HealthSetter.
+func (e *Explorer) SetHealth(h *fabric.Health) {
+	e.health = h
+	if h != nil {
+		e.healthVer = h.Version()
+	}
+}
+
+// SetWear implements alloc.WearSetter.
+func (e *Explorer) SetWear(w *fabric.Wear) {
+	e.wear = w
+	if w != nil {
+		e.wearVer = w.Version()
+	}
+}
+
+// ObserveStress implements alloc.StressObserver.
+func (e *Explorer) ObserveStress(cells []fabric.Cell, off fabric.Offset, cycles uint64) {
+	for _, cell := range cells {
+		p := off.Apply(cell, e.geom)
+		e.stress[p.Row*e.geom.Cols+p.Col] += cycles
+	}
+	e.active += cycles
+}
+
+// stale reports whether the held pivot may rest on outdated state: a cell
+// died or the lifetime simulator advanced the wear map since the last
+// exploration.
+func (e *Explorer) stale() bool {
+	if e.health != nil && e.healthVer != e.health.Version() {
+		return true
+	}
+	if e.wear != nil && e.wearVer != e.wear.Version() {
+		return true
+	}
+	return false
+}
+
+// Next implements alloc.Allocator: the held pivot, re-explored every
+// recomputeEvery executions, immediately on health/wear changes, and
+// whenever the held pivot — explored for a possibly different footprint —
+// would drive this configuration onto a dead FU. The last rule matters on
+// fabrics smaller than the hold period: the controller's skip-scan is
+// bounded by NumFUs proposals, so without it a stale pivot could exhaust
+// the scan and force a GPP fallback although live placements exist.
+func (e *Explorer) Next(cfg *fabric.Config) fabric.Offset {
+	if cfg != nil {
+		recompute := e.count%e.recomputeEvery == 0 || e.stale()
+		if !recompute && e.health != nil && e.health.DeadCount() > 0 &&
+			!e.health.PlacementOK(cfg.Cells(), e.current) {
+			recompute = true
+		}
+		if recompute {
+			if e.health != nil {
+				e.healthVer = e.health.Version()
+			}
+			if e.wear != nil {
+				e.wearVer = e.wear.Version()
+			}
+			e.current = e.Explore(cfg)
+		}
+	}
+	e.count++
+	return e.current
+}
+
+// projectCells fills cellVt with each physical cell's projected ΔVt:
+// accumulated cross-epoch stress-years plus the within-run duty footprint
+// extended over the horizon, evaluated under Eq. 1. The projection is a
+// per-cell property — candidate pivots only decide *which* cells the
+// configuration stresses next — so it is computed once per exploration.
+func (e *Explorer) projectCells() {
+	for r := 0; r < e.geom.Rows; r++ {
+		for c := 0; c < e.geom.Cols; c++ {
+			i := r*e.geom.Cols + c
+			years := 0.0
+			if e.wear != nil {
+				years = e.wear.YearsAt(fabric.Cell{Row: r, Col: c})
+			}
+			if e.active > 0 {
+				duty := float64(e.stress[i]) / float64(e.active)
+				years += duty * e.horizonYears
+			}
+			// Eq. 1 depends on t and u only through t·u, so stress-years at
+			// u=1 give the cell's ΔVt directly.
+			e.cellVt[i] = e.model.Cond.DeltaVt(years, 1)
+		}
+	}
+}
+
+// Explore scans every pivot and returns the live placement minimising the
+// maximum projected ΔVt over the cells the configuration would occupy; ties
+// break by total projected ΔVt, then by row-major pivot order for
+// determinism. Pivots whose placement would drive a dead FU are excluded;
+// when no live placement exists the zero offset is returned and the
+// controller's own health check rejects the offload (GPP fallback).
+func (e *Explorer) Explore(cfg *fabric.Config) fabric.Offset {
+	e.projectCells()
+	cells := cfg.Cells()
+	checkHealth := e.health != nil && e.health.DeadCount() > 0
+	best := fabric.Offset{}
+	bestMax := math.Inf(1)
+	bestSum := math.Inf(1)
+	found := false
+	for r := 0; r < e.geom.Rows; r++ {
+		for c := 0; c < e.geom.Cols; c++ {
+			off := fabric.Offset{Row: r, Col: c}
+			if checkHealth && !e.health.PlacementOK(cells, off) {
+				continue
+			}
+			maxVt, sumVt := e.scoreProjected(cells, off)
+			if !found || maxVt < bestMax || (maxVt == bestMax && sumVt < bestSum) {
+				best, bestMax, bestSum, found = off, maxVt, sumVt, true
+			}
+		}
+	}
+	return best
+}
+
+// scoreProjected evaluates one candidate against the cached projection.
+func (e *Explorer) scoreProjected(cells []fabric.Cell, off fabric.Offset) (maxVt, sumVt float64) {
+	for _, cell := range cells {
+		p := off.Apply(cell, e.geom)
+		vt := e.cellVt[p.Row*e.geom.Cols+p.Col]
+		if vt > maxVt {
+			maxVt = vt
+		}
+		sumVt += vt
+	}
+	return maxVt, sumVt
+}
+
+// Score returns the maximum projected ΔVt of placing cfg at off under the
+// explorer's current state: the objective Explore minimises. Exposed so
+// tests (and diagnostics) can compare the explorer's choice against
+// alternatives such as the skip-scan fallback it replaces.
+func (e *Explorer) Score(cfg *fabric.Config, off fabric.Offset) float64 {
+	e.projectCells()
+	maxVt, _ := e.scoreProjected(cfg.Cells(), off)
+	return maxVt
+}
+
+var (
+	_ alloc.Allocator      = (*Explorer)(nil)
+	_ alloc.HealthSetter   = (*Explorer)(nil)
+	_ alloc.WearSetter     = (*Explorer)(nil)
+	_ alloc.StressObserver = (*Explorer)(nil)
+)

@@ -9,8 +9,10 @@ import (
 	"agingcgra/internal/fabric"
 )
 
-// batch is a small heterogeneous scenario batch: two geometries × two
-// allocators, single-kernel mixes at tiny scale.
+// batch is a small heterogeneous scenario batch: two geometries × three
+// allocators, single-kernel mixes at tiny scale. The explorer scenarios
+// exercise the wear-feedback path (no epoch memoization while wear evolves),
+// so the batch covers both the replayed and the re-simulated timelines.
 func batch() []Scenario {
 	mk := func(rows, cols int, f dse.AllocatorFactory, bench string) Scenario {
 		return Scenario{
@@ -24,8 +26,10 @@ func batch() []Scenario {
 	return []Scenario{
 		mk(2, 16, dse.BaselineFactory, "crc32"),
 		mk(2, 16, dse.ProposedFactory, "crc32"),
+		mk(2, 16, dse.ExploreFactory, "crc32"),
 		mk(4, 8, dse.BaselineFactory, "bitcount"),
 		mk(4, 8, dse.ProposedFactory, "bitcount"),
+		mk(4, 8, dse.ExploreFactory, "bitcount"),
 	}
 }
 

@@ -17,18 +17,24 @@
 //     places new translations on live FUs only and the controller skips
 //     pivots that would rotate a configuration onto a failure.
 //
-// The epoch outcome is a pure function of the fabric health state (fresh
-// allocator, cores and caches each epoch; the GPP reference is memoized),
-// so epochs between failure events are replayed from memo instead of
-// re-simulated — multi-decade horizons cost one co-simulation per distinct
-// fabric state.
+// The epoch outcome is a pure function of the fabric state the allocator
+// can observe (fresh allocator, cores and caches each epoch; the GPP
+// reference is memoized), so epochs between state changes are replayed from
+// memo instead of re-simulated — multi-decade horizons cost one
+// co-simulation per distinct fabric state. For health-only allocators that
+// state is the Health version; wear-adaptive allocators (alloc.WearSetter)
+// also see the accumulated fabric.Wear map, so their memo key includes the
+// wear version — wear accrues every epoch, which correctly forces those
+// scenarios to re-simulate as the placement search adapts.
 package lifetime
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"agingcgra/internal/aging"
+	"agingcgra/internal/alloc"
 	"agingcgra/internal/core"
 	"agingcgra/internal/dbt"
 	"agingcgra/internal/dse"
@@ -196,12 +202,26 @@ type Result struct {
 	// FirstDeathYears is the interpolated age of the first FU failure
 	// (0 when every cell survived the horizon).
 	FirstDeathYears float64 `json:"first_death_years"`
+	// DeathAges lists the interpolated age of every FU failure within the
+	// horizon in ascending order; DeathAges[0] equals FirstDeathYears when
+	// any cell died. The time-to-second/third-death comparisons of the
+	// wear-aware explorer evaluation read from here.
+	DeathAges []float64 `json:"death_ages,omitempty"`
 	// TotalDeaths and AliveFraction summarize the end state.
 	TotalDeaths   int     `json:"total_deaths"`
 	AliveFraction float64 `json:"alive_fraction"`
 	// InitialSpeedup and FinalSpeedup bracket the performance decay.
 	InitialSpeedup float64 `json:"initial_speedup"`
 	FinalSpeedup   float64 `json:"final_speedup"`
+}
+
+// NthDeathYears returns the interpolated age of the n-th FU failure
+// (1-based); 0 when fewer than n cells died within the horizon.
+func (r *Result) NthDeathYears(n int) float64 {
+	if n < 1 || n > len(r.DeathAges) {
+		return 0
+	}
+	return r.DeathAges[n-1]
 }
 
 // epochRun is the co-simulation outcome of one epoch: a pure function of
@@ -221,7 +241,11 @@ func Run(sc Scenario) (*Result, error) {
 		return nil, err
 	}
 
-	allocName := sc.Factory(sc.Geom).Name()
+	probe := sc.Factory(sc.Geom)
+	allocName := probe.Name()
+	// Wear-adaptive allocators observe the accumulated wear map, so their
+	// epoch outcomes depend on it and the memo key must include its version.
+	_, wearAware := probe.(alloc.WearSetter)
 	if sc.Name == "" {
 		sc.Name = fmt.Sprintf("%s/%s", sc.Geom, allocName)
 	}
@@ -236,15 +260,18 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	health := fabric.NewHealth(sc.Geom)
+	// wear accumulates each cell's t·u product in calibration-equivalent
+	// years: Eq. 1 depends on t and u only through t·u, so a cell dies when
+	// its stress-years reach CalibYears·CalibUtil. The same map is threaded
+	// into the epoch controller so wear-adaptive allocators can steer
+	// placements away from the most-degraded FUs.
+	wear := fabric.NewWear(sc.Geom)
 	n := sc.Geom.NumFUs()
-	// stressYears[i] is the accumulated t·u product of cell i in
-	// calibration-equivalent years: Eq. 1 depends on t and u only through
-	// t·u, so a cell dies when its stressYears reach CalibYears·CalibUtil.
-	stressYears := make([]float64, n)
 	threshold := sc.Model.CalibYears * sc.Model.CalibUtil
 
 	var last *epochRun
 	lastVersion := ^uint64(0)
+	lastWearVer := ^uint64(0)
 	years := 0.0
 	epochs := int(math.Ceil(sc.MaxYears/sc.EpochYears - 1e-9))
 
@@ -255,13 +282,15 @@ func Run(sc Scenario) (*Result, error) {
 		}
 
 		run := last
-		replayed := run != nil && lastVersion == health.Version()
+		replayed := run != nil && lastVersion == health.Version() &&
+			(!wearAware || lastWearVer == wear.Version())
 		if !replayed {
-			r, err := runEpoch(&sc, health)
+			r, err := runEpoch(&sc, health, wear)
 			if err != nil {
 				return nil, fmt.Errorf("lifetime: %s epoch %d: %w", sc.Name, epoch, err)
 			}
-			run, last, lastVersion = r, r, health.Version()
+			run, last = r, r
+			lastVersion, lastWearVer = health.Version(), wear.Version()
 		}
 
 		// Age every live cell by the epoch, accelerated by the operating
@@ -277,18 +306,20 @@ func Run(sc Scenario) (*Result, error) {
 				continue
 			}
 			rate := run.util.Duty[i] * accel
-			before := stressYears[i]
-			stressYears[i] += epochLen * rate
-			if stressYears[i] >= threshold && rate > 0 {
+			before := wear.YearsAt(cell)
+			wear.Add(cell, epochLen*rate)
+			after := before + epochLen*rate
+			if after >= threshold && rate > 0 {
 				deathAge := years + (threshold-before)/rate
 				if res.FirstDeathYears == 0 || deathAge < res.FirstDeathYears {
 					res.FirstDeathYears = deathAge
 				}
+				res.DeathAges = append(res.DeathAges, deathAge)
 				health.Kill(cell)
 				deaths = append(deaths, cell)
 				continue
 			}
-			if d := sc.Model.DelayIncrease(stressYears[i], 1); d > worstDelay {
+			if d := sc.Model.DelayIncrease(after, 1); d > worstDelay {
 				worstDelay = d
 			}
 		}
@@ -321,6 +352,9 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	res.AliveFraction = health.AliveFraction()
+	// Deaths are recorded in cell order within an epoch; the interpolated
+	// ages inside one epoch need not be monotone, so sort the combined list.
+	sort.Float64s(res.DeathAges)
 	if len(res.Timeline) > 0 {
 		res.InitialSpeedup = res.Timeline[0].Speedup
 		res.FinalSpeedup = res.Timeline[len(res.Timeline)-1].Speedup
@@ -331,13 +365,15 @@ func Run(sc Scenario) (*Result, error) {
 // runEpoch co-simulates the workload mix once on the current fabric state:
 // a fresh allocator and controller (sharing one fabric across the mix, as a
 // deployed chip would within an epoch), fresh engines and caches, and the
-// scenario's health map wired into both the mapper and the placement.
-func runEpoch(sc *Scenario, health *fabric.Health) (*epochRun, error) {
+// scenario's health and wear maps wired into the mapper, the placement and
+// any wear-adaptive allocator.
+func runEpoch(sc *Scenario, health *fabric.Health, wear *fabric.Wear) (*epochRun, error) {
 	ctrl, err := core.NewController(sc.Geom, sc.Factory(sc.Geom))
 	if err != nil {
 		return nil, err
 	}
 	ctrl.SetHealth(health)
+	ctrl.SetWear(wear)
 
 	run := &epochRun{}
 	for _, name := range sc.Mix {

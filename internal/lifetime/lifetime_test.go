@@ -186,3 +186,54 @@ func TestScenarioValidation(t *testing.T) {
 		t.Error("horizon shorter than one epoch accepted")
 	}
 }
+
+func TestDeathAgesConsistent(t *testing.T) {
+	res, err := Run(beScenario(dse.BaselineFactory, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DeathAges) != res.TotalDeaths {
+		t.Fatalf("%d death ages for %d deaths", len(res.DeathAges), res.TotalDeaths)
+	}
+	if res.TotalDeaths == 0 {
+		t.Fatal("expected deaths within 8 years on the baseline")
+	}
+	if res.DeathAges[0] != res.FirstDeathYears {
+		t.Errorf("DeathAges[0] = %v, FirstDeathYears = %v", res.DeathAges[0], res.FirstDeathYears)
+	}
+	for i := 1; i < len(res.DeathAges); i++ {
+		if res.DeathAges[i] < res.DeathAges[i-1] {
+			t.Fatalf("death ages not ascending at %d: %v", i, res.DeathAges)
+		}
+	}
+	if res.NthDeathYears(1) != res.FirstDeathYears {
+		t.Error("NthDeathYears(1) != FirstDeathYears")
+	}
+	if res.NthDeathYears(0) != 0 || res.NthDeathYears(len(res.DeathAges)+1) != 0 {
+		t.Error("out-of-range NthDeathYears should read 0")
+	}
+}
+
+// TestExplorerOutlivesSkipScanAfterFailures is the package-level form of the
+// headline claim: with wear feedback the explorer's time to the second FU
+// death is no earlier than the snake rotation's, whose skip-scan keeps
+// re-concentrating post-failure wear on whichever survivors come next in
+// the pattern.
+func TestExplorerOutlivesSkipScanAfterFailures(t *testing.T) {
+	snake, err := Run(beScenario(dse.ProposedFactory, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explored, err := Run(beScenario(dse.ExploreFactory, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snake.NthDeathYears(2) == 0 || explored.NthDeathYears(2) == 0 {
+		t.Fatalf("expected at least two deaths each: snake %v, explore %v",
+			snake.DeathAges, explored.DeathAges)
+	}
+	if explored.NthDeathYears(2) < snake.NthDeathYears(2) {
+		t.Errorf("explorer second death %v years, earlier than snake %v",
+			explored.NthDeathYears(2), snake.NthDeathYears(2))
+	}
+}

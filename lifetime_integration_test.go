@@ -1,6 +1,8 @@
 package agingcgra
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -56,5 +58,64 @@ func TestLifetimeReproducesPaperHeadline(t *testing.T) {
 		if r.FinalSpeedup > r.InitialSpeedup {
 			t.Errorf("%s: speedup grew with age (%v -> %v)", r.Name, r.InitialSpeedup, r.FinalSpeedup)
 		}
+	}
+}
+
+// TestExplorerThreeWayLifetime pins the wear-aware explorer's headline on
+// the BE design with failure injection: the three-way baseline / snake /
+// explore comparison cgra-lifetime emits, with the explorer's
+// time-to-second-FU-death no earlier than the snake rotation's (post-failure
+// the snake only skip-scans to the first live pivot, re-concentrating wear,
+// while the explorer picks the live placement minimising the maximum
+// projected ΔVt). The full three-way JSON is additionally pinned
+// byte-identical between the serial and parallel scenario batches.
+func TestExplorerThreeWayLifetime(t *testing.T) {
+	configs := []LifetimeConfig{
+		{Allocator: "baseline", Benchmarks: []string{"crc32"}, EpochYears: 0.25, MaxYears: 40},
+		{Allocator: "utilization-aware", Benchmarks: []string{"crc32"}, EpochYears: 0.25, MaxYears: 40},
+		{Allocator: "explore", Benchmarks: []string{"crc32"}, EpochYears: 0.25, MaxYears: 40},
+	}
+	serial, err := RunLifetimes(configs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunLifetimes(configs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sj, err := json.MarshalIndent(serial, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.MarshalIndent(parallel, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("serial and parallel three-way timelines differ:\nserial:\n%s\nparallel:\n%s", sj, pj)
+	}
+
+	base, snake, explored := serial[0], serial[1], serial[2]
+	for _, r := range serial {
+		if len(r.DeathAges) < 3 {
+			t.Fatalf("%s: want at least three deaths within 40 years, got %v", r.Name, r.DeathAges)
+		}
+	}
+
+	// Rotation beats the baseline (the paper), and the explorer is at least
+	// as durable as the rotation once failures start: second death no
+	// earlier, first death no earlier either (wear feedback can only
+	// flatten the cumulative stress the rotation already spreads).
+	if snake.FirstDeathYears <= base.FirstDeathYears {
+		t.Errorf("snake first death %v, want later than baseline %v",
+			snake.FirstDeathYears, base.FirstDeathYears)
+	}
+	if explored.NthDeathYears(2) < snake.NthDeathYears(2) {
+		t.Errorf("explorer second death %v years, earlier than snake %v",
+			explored.NthDeathYears(2), snake.NthDeathYears(2))
+	}
+	if explored.NthDeathYears(3) == 0 || snake.NthDeathYears(3) == 0 {
+		t.Error("third-death comparison missing a data point")
 	}
 }
