@@ -31,12 +31,15 @@ import (
 	"agingcgra/internal/isa"
 	"agingcgra/internal/lifetime"
 	"agingcgra/internal/prog"
+	"agingcgra/internal/remap"
 )
 
 // Re-exported building blocks, so downstream code can stay on the facade.
 type (
 	// Geometry is a CGRA fabric size (rows x columns).
 	Geometry = fabric.Geometry
+	// Cell identifies one FU position in a fabric.
+	Cell = fabric.Cell
 	// Allocator decides where configurations execute.
 	Allocator = alloc.Allocator
 	// Report is the detailed outcome of one TransRec run.
@@ -72,6 +75,7 @@ func AllocatorNames() []string {
 		"utilization-aware-shuffled",
 		"health-aware",
 		"explore",
+		"remap",
 	}
 }
 
@@ -96,6 +100,8 @@ func NewAllocator(name string, g Geometry) (Allocator, error) {
 		return alloc.NewHealthAware(g, 16), nil
 	case "explore", "wear-aware", "explorer":
 		return explore.New(g), nil
+	case "remap", "shape-adaptive":
+		return remap.New(g), nil
 	}
 	return nil, fmt.Errorf("agingcgra: unknown allocator %q (want one of %v)", name, AllocatorNames())
 }
@@ -247,6 +253,18 @@ type LifetimeConfig struct {
 	// faster by Eq. 1's acceleration factor.
 	TemperatureK float64
 	Vdd          float64
+	// DeadPattern names a clustered-failure layout injected before the
+	// first epoch: "column[:c]", "columns:c1+c2", "quadrant",
+	// "checkerboard[:p]", "survivor-row[:r]" or "healthy" (see
+	// fabric.PatternCells). InitialDead adds explicit cells on top.
+	DeadPattern string
+	InitialDead []Cell
+	// StaleTranslations models a DBT whose translation memory predates the
+	// failures: configurations are mapped for the pristine fabric and only
+	// placement respects the health map. This is the regime where clustered
+	// failures drive translation-only allocators to the GPP and the "remap"
+	// allocator keeps the kernel on-fabric by re-mapping shapes.
+	StaleTranslations bool
 }
 
 // lifetimeRefs memoizes the stand-alone GPP reference runs across every
@@ -291,18 +309,29 @@ func (c LifetimeConfig) scenario() (lifetime.Scenario, error) {
 	if err := cond.Validate(); err != nil {
 		return lifetime.Scenario{}, err
 	}
-	return lifetime.Scenario{
-		Name:       c.Name,
-		Geom:       g,
-		Factory:    factory,
-		Mix:        c.Benchmarks,
-		Size:       c.Size,
-		EpochYears: c.EpochYears,
-		MaxYears:   c.MaxYears,
-		Model:      model,
-		Cond:       cond,
-		Refs:       lifetimeRefs,
-	}, nil
+	dead := append([]fabric.Cell(nil), c.InitialDead...)
+	if c.DeadPattern != "" {
+		cells, err := fabric.PatternCells(c.DeadPattern, g)
+		if err != nil {
+			return lifetime.Scenario{}, err
+		}
+		dead = append(dead, cells...)
+	}
+	sc := lifetime.Scenario{
+		Name:        c.Name,
+		Geom:        g,
+		Factory:     factory,
+		Mix:         c.Benchmarks,
+		Size:        c.Size,
+		EpochYears:  c.EpochYears,
+		MaxYears:    c.MaxYears,
+		Model:       model,
+		Cond:        cond,
+		InitialDead: dead,
+		Refs:        lifetimeRefs,
+	}
+	sc.Engine.StaleTranslations = c.StaleTranslations
+	return sc, nil
 }
 
 // RunLifetime simulates one lifetime scenario to its horizon.

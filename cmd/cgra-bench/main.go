@@ -111,6 +111,7 @@ func main() {
 		for _, lc := range []struct{ allocator, label string }{
 			{"utilization-aware", "Lifetime/BE-snake-crc32-20y"},
 			{"explore", "Lifetime/BE-explore-crc32-20y"},
+			{"remap", "Lifetime/BE-remap-crc32-20y"},
 		} {
 			life, err := benchLifetimeScenario(lc.allocator, lc.label)
 			if err != nil {

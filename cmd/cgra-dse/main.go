@@ -6,12 +6,15 @@
 //
 //	cgra-dse -size small -csv fig6.csv
 //	cgra-dse -allocator explore        # sweep with the wear-aware explorer
+//	cgra-dse -explorer-sweep           # (horizon x period) x failure DSE
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"agingcgra"
 	"agingcgra/internal/report"
@@ -22,12 +25,50 @@ func main() {
 	csvPath := flag.String("csv", "", "also write the points as CSV to this file")
 	workers := flag.Int("workers", 0, "parallel design points (0 = all CPUs, 1 = serial)")
 	allocator := flag.String("allocator", "baseline",
-		"allocation strategy to sweep with (baseline, utilization-aware, explore, ...)")
+		"allocation strategy to sweep with (baseline, utilization-aware, explore, remap, ...)")
+	explorerSweep := flag.Bool("explorer-sweep", false,
+		"run the explorer's own DSE instead of Fig. 6: (projection horizon x recompute period) across clustered-failure scenarios")
+	horizons := flag.String("horizons", "", "explorer-sweep projection horizons in years, comma-separated (default 0.25,1,4)")
+	periods := flag.String("periods", "", "explorer-sweep recompute periods, comma-separated (default 4,16,64)")
+	failures := flag.String("failures", "", "explorer-sweep failure patterns, comma-separated (default healthy,column,quadrant)")
+	years := flag.Float64("years", 20, "explorer-sweep simulated horizon in years")
 	flag.Parse()
 
 	size, err := parseSize(*sizeName)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *explorerSweep {
+		opt := agingcgra.ExplorerSweepOptions{
+			Size:     size,
+			MaxYears: *years,
+			Workers:  *workers,
+		}
+		if *horizons != "" {
+			if opt.Horizons, err = parseFloats(*horizons); err != nil {
+				fatal(err)
+			}
+		}
+		if *periods != "" {
+			if opt.Periods, err = parseInts(*periods); err != nil {
+				fatal(err)
+			}
+		}
+		if *failures != "" {
+			for _, f := range strings.Split(*failures, ",") {
+				opt.Failures = append(opt.Failures, strings.TrimSpace(f))
+			}
+		}
+		res, err := agingcgra.ExplorerSweep(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Render())
+		if *csvPath != "" {
+			writeCSV(*csvPath, res.CSVHeader(), res.CSVRows())
+		}
+		return
 	}
 	res, err := agingcgra.Fig6(agingcgra.ExperimentOptions{
 		Size: size, Workers: *workers, Allocator: *allocator,
@@ -38,11 +79,6 @@ func main() {
 	fmt.Print(res.Render())
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
 		rows := make([][]string, 0, len(res.Points))
 		for _, p := range res.Points {
 			rows = append(rows, []string{
@@ -54,11 +90,44 @@ func main() {
 				fmt.Sprintf("%.6f", p.AvgUtil),
 			})
 		}
-		if err := report.WriteCSV(f, []string{"design", "rows", "cols", "rel_time", "rel_energy", "avg_util"}, rows); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *csvPath)
+		writeCSV(*csvPath, []string{"design", "rows", "cols", "rel_time", "rel_energy", "avg_util"}, rows)
 	}
+}
+
+func writeCSV(path string, header []string, rows [][]string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := report.WriteCSV(f, header, rows); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q in %q", part, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in %q", part, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseSize(s string) (agingcgra.Size, error) {

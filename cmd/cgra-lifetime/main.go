@@ -9,10 +9,12 @@
 //
 // Usage:
 //
-//	cgra-lifetime                                   # BE design, baseline vs snake vs explore
+//	cgra-lifetime                           # BE design, baseline/snake/explore/remap
 //	cgra-lifetime -rows 8 -cols 32 -years 40 \
-//	    -allocators baseline,utilization-aware,health-aware,explore \
+//	    -allocators baseline,utilization-aware,health-aware,explore,remap \
 //	    -bench crc32,sha -epoch 0.25 -o lifetime.json
+//	cgra-lifetime -dead survivor-row:1 -stale-translations \
+//	    -allocators explore,remap          # clustered failure: remap vs explorer
 package main
 
 import (
@@ -36,8 +38,12 @@ type Output struct {
 func main() {
 	rows := flag.Int("rows", 2, "fabric rows W")
 	cols := flag.Int("cols", 16, "fabric columns L")
-	allocators := flag.String("allocators", "baseline,utilization-aware,explore",
+	allocators := flag.String("allocators", "baseline,utilization-aware,explore,remap",
 		"comma-separated allocation strategies to compare")
+	dead := flag.String("dead", "",
+		"clustered-failure pattern injected before the first epoch: column[:c], columns:c1+c2, quadrant, checkerboard[:p], survivor-row[:r]")
+	stale := flag.Bool("stale-translations", false,
+		"translate for the pristine fabric (configs predate the failures); placement still respects health")
 	bench := flag.String("bench", "", "comma-separated workload mix (default: full suite)")
 	sizeName := flag.String("size", "tiny", "workload size: tiny, small, large")
 	epoch := flag.Float64("epoch", 0.5, "epoch length in years")
@@ -60,15 +66,17 @@ func main() {
 	var configs []agingcgra.LifetimeConfig
 	for _, name := range strings.Split(*allocators, ",") {
 		configs = append(configs, agingcgra.LifetimeConfig{
-			Rows:         *rows,
-			Cols:         *cols,
-			Allocator:    strings.TrimSpace(name),
-			Benchmarks:   mix,
-			Size:         size,
-			EpochYears:   *epoch,
-			MaxYears:     *years,
-			TemperatureK: *temp,
-			Vdd:          *vdd,
+			Rows:              *rows,
+			Cols:              *cols,
+			Allocator:         strings.TrimSpace(name),
+			Benchmarks:        mix,
+			Size:              size,
+			EpochYears:        *epoch,
+			MaxYears:          *years,
+			TemperatureK:      *temp,
+			Vdd:               *vdd,
+			DeadPattern:       *dead,
+			StaleTranslations: *stale,
 		})
 	}
 

@@ -40,6 +40,30 @@ type WearSetter interface {
 	SetWear(*fabric.Wear)
 }
 
+// ConfigRemapper is implemented by allocators that can substitute a
+// shape-remapped configuration when the held pivot's footprint hits dead or
+// worn cells. Pivot translation can only slide the rectangle the mapper
+// produced; once failures cluster (a dead column under a full-length
+// configuration), no offset avoids them and the controller would fall back
+// to the GPP even though plenty of scattered live cells remain — and even
+// when some pivot is still live, every surviving pivot of a
+// cluster-constrained rectangle may sit on heavily worn cells a different
+// shape could avoid. A ConfigRemapper re-maps the configuration's
+// instruction sequence to an alternative shape in both cases.
+type ConfigRemapper interface {
+	// RemapConfig decides the placement of cfg given the translation-only
+	// outcome: off is the pivot the ordinary placement chose and placed
+	// reports whether it found one at all. The remapper returns either cfg
+	// itself at off (translation stands), or an architecturally equivalent
+	// remapped configuration — the same replayed instruction sequence,
+	// possibly a shorter prefix when the constrained shape cannot hold
+	// every op — at the offset it fits at. Every cell the returned
+	// configuration occupies under the returned offset must be live. ok is
+	// false when neither translation nor any alternative shape yields a
+	// live placement.
+	RemapConfig(cfg *fabric.Config, off fabric.Offset, placed bool) (mapped *fabric.Config, mappedOff fabric.Offset, ok bool)
+}
+
 // NewHealthAware builds the stress-feedback allocator. recomputeEvery <= 0
 // defaults to 16.
 func NewHealthAware(g fabric.Geometry, recomputeEvery int) *HealthAware {

@@ -241,3 +241,46 @@ func TestDenseLookupKeepsStatsAndRecency(t *testing.T) {
 		t.Error("LRU recency diverged from expectation")
 	}
 }
+
+// TestRemapCacheVersionedFlush pins the shape-cache contract: entries are
+// reused while the (health, wear) versions stand still, any version change
+// flushes the whole cache (every entry was searched under the old fabric
+// state), and negative outcomes are memoized like positive ones.
+func TestRemapCacheVersionedFlush(t *testing.T) {
+	rc := NewRemapCache()
+	if _, ok := rc.Lookup(0x1000, 1, 1); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	rc.Insert(0x1000, 1, 1, RemapEntry{Cfg: cfg(0x1000), Off: fabric.Offset{Row: 1}, OK: true})
+	rc.Insert(0x2000, 1, 1, RemapEntry{OK: false}) // negative result
+	if e, ok := rc.Lookup(0x1000, 1, 1); !ok || !e.OK || e.Off.Row != 1 {
+		t.Fatalf("positive entry lost: %+v ok=%v", e, ok)
+	}
+	if e, ok := rc.Lookup(0x2000, 1, 1); !ok || e.OK {
+		t.Fatalf("negative entry lost: %+v ok=%v", e, ok)
+	}
+	if rc.Len() != 2 {
+		t.Fatalf("len = %d, want 2", rc.Len())
+	}
+
+	// Health version moves: both entries are stale.
+	if _, ok := rc.Lookup(0x1000, 2, 1); ok {
+		t.Fatal("stale entry survived a health version change")
+	}
+	if rc.Len() != 0 {
+		t.Fatalf("len after flush = %d, want 0", rc.Len())
+	}
+	rc.Insert(0x1000, 2, 1, RemapEntry{OK: true})
+
+	// Wear version moves: flushed again.
+	if _, ok := rc.Lookup(0x1000, 2, 2); ok {
+		t.Fatal("stale entry survived a wear version change")
+	}
+	st := rc.Stats()
+	if st.Flushes != 2 {
+		t.Errorf("flushes = %d, want 2", st.Flushes)
+	}
+	if st.Hits != 2 || st.Misses != 3 {
+		t.Errorf("hits/misses = %d/%d, want 2/3", st.Hits, st.Misses)
+	}
+}

@@ -208,6 +208,27 @@ func (c *Controller) Place(cfg *fabric.Config) (off fabric.Offset, ok bool) {
 	return fabric.Offset{}, false
 }
 
+// PlaceOrRemap asks the allocation strategy where to load cfg, like Place,
+// but routes the outcome through shape-adaptive allocators
+// (alloc.ConfigRemapper): when no pivot of the original rectangle avoids
+// the failed cells the allocator may substitute a re-mapped,
+// architecturally equivalent configuration of a different shape, and even
+// when a pivot exists it may substitute a shape whose worst cell projects
+// less wear. The returned configuration is cfg itself on the ordinary
+// path; the caller must replay and Commit whichever configuration comes
+// back. ok is false only when neither translation nor remapping finds a
+// live placement — the GPP fallback.
+func (c *Controller) PlaceOrRemap(cfg *fabric.Config) (*fabric.Config, fabric.Offset, bool) {
+	off, ok := c.Place(cfg)
+	if rm, isRemapper := c.alloc.(alloc.ConfigRemapper); isRemapper {
+		return rm.RemapConfig(cfg, off, ok)
+	}
+	if !ok {
+		return nil, fabric.Offset{}, false
+	}
+	return cfg, off, true
+}
+
 // Commit records the stress of a completed execution and feeds back to
 // stress-adaptive allocators.
 func (c *Controller) Commit(cfg *fabric.Config, off fabric.Offset, cycles uint64) {

@@ -213,3 +213,87 @@ func TestControllerForwardsWear(t *testing.T) {
 		t.Error("SetHealth not forwarded to the health-adaptive allocator")
 	}
 }
+
+// remapSpy is a minimal shape-adaptive allocator: Next always proposes the
+// zero offset; RemapConfig keeps a successful translation and substitutes
+// a fixed alternative for a blocked one.
+type remapSpy struct {
+	alloc.Baseline
+	sub        *fabric.Config
+	off        fabric.Offset
+	ok         bool
+	calls      int
+	lastPlaced bool
+}
+
+func (s *remapSpy) RemapConfig(cfg *fabric.Config, off fabric.Offset, placed bool) (*fabric.Config, fabric.Offset, bool) {
+	s.calls++
+	s.lastPlaced = placed
+	if placed {
+		return cfg, off, true
+	}
+	return s.sub, s.off, s.ok
+}
+
+// TestPlaceOrRemap pins the controller's shape-adaptive seam: the ordinary
+// path flows the translated placement through the remapper (which may keep
+// it), a blocked placement lets alloc.ConfigRemapper substitute, and a
+// failed remap is the GPP fallback.
+func TestPlaceOrRemap(t *testing.T) {
+	g := fabric.NewGeometry(2, 4)
+	cfg := &fabric.Config{
+		StartPC:  0x1000,
+		Geom:     g,
+		Ops:      []fabric.PlacedOp{{Seq: 0, Row: 0, Col: 0, Width: 1}},
+		UsedCols: 1,
+	}
+	sub := &fabric.Config{
+		StartPC:  0x1000,
+		Geom:     fabric.Geometry{Rows: 1, Cols: 4, CtxLines: g.CtxLines, CfgLines: g.CfgLines},
+		Ops:      []fabric.PlacedOp{{Seq: 0, Row: 0, Col: 0, Width: 1}},
+		UsedCols: 1,
+	}
+	spy := &remapSpy{sub: sub, off: fabric.Offset{Row: 1, Col: 2}, ok: true}
+	ctrl, err := NewController(g, spy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy: the remapper sees the successful placement and keeps it.
+	got, _, ok := ctrl.PlaceOrRemap(cfg)
+	if !ok || got != cfg {
+		t.Fatalf("healthy PlaceOrRemap = (%v, ok=%v), want the original config", got, ok)
+	}
+	if spy.calls != 1 || !spy.lastPlaced {
+		t.Fatalf("remapper saw (calls=%d, placed=%v), want the placed outcome", spy.calls, spy.lastPlaced)
+	}
+
+	// Kill the config's only cell: the baseline's zero pivot is dead, so the
+	// controller must fall through to the remapper and return its substitute.
+	h := fabric.NewHealth(g)
+	h.Kill(fabric.Cell{Row: 0, Col: 0})
+	ctrl.SetHealth(h)
+	got, off, ok := ctrl.PlaceOrRemap(cfg)
+	if !ok || got != sub || off != spy.off {
+		t.Fatalf("blocked PlaceOrRemap = (%v, %v, ok=%v), want the substitute at %v", got, off, ok, spy.off)
+	}
+	if spy.calls != 2 || spy.lastPlaced {
+		t.Fatalf("remapper saw (calls=%d, placed=%v), want the blocked outcome", spy.calls, spy.lastPlaced)
+	}
+
+	// A failing remap is the GPP fallback.
+	spy.ok = false
+	if _, _, ok := ctrl.PlaceOrRemap(cfg); ok {
+		t.Fatal("PlaceOrRemap succeeded although both placement and remap failed")
+	}
+
+	// Non-remapping allocators keep the plain two-outcome contract.
+	plain, err := NewController(g, alloc.Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.SetHealth(h)
+	if _, _, ok := plain.PlaceOrRemap(cfg); ok {
+		t.Fatal("baseline PlaceOrRemap succeeded on a dead pivot")
+	}
+}

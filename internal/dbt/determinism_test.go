@@ -12,6 +12,7 @@ import (
 	"agingcgra/internal/isa"
 	"agingcgra/internal/mapper"
 	"agingcgra/internal/prog"
+	"agingcgra/internal/remap"
 )
 
 // naiveEngine is an independent reference implementation of the TransRec
@@ -233,5 +234,67 @@ func TestEngineMatchesNaiveReference(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestShapeEquivalentArchitecturalState is the engine-level half of the
+// architectural-equivalence layer behind the shape-adaptive remapper: for
+// every kernel in the suite, co-simulating on reshaped fabrics (2×16,
+// 4×8, 8×4, 16×2 — the same 32 FUs in different rectangles) under the
+// remap allocator yields byte-identical architectural state in the Report and
+// the core — the same retired-instruction total and the same final
+// register file, with the golden checksum intact. Shapes redistribute ops
+// in space and change only the performance numbers; any divergence here
+// means a mapping leaked into architectural behaviour and remapping would
+// be unsound.
+func TestShapeEquivalentArchitecturalState(t *testing.T) {
+	geoms := []fabric.Geometry{
+		fabric.NewGeometry(2, 16),
+		fabric.NewGeometry(4, 8),
+		fabric.NewGeometry(8, 4),
+		fabric.NewGeometry(16, 2),
+	}
+	for _, name := range prog.Names() {
+		t.Run(name, func(t *testing.T) {
+			b, ok := prog.ByName(name)
+			if !ok {
+				t.Fatalf("unknown benchmark %q", name)
+			}
+			type outcome struct {
+				geom   fabric.Geometry
+				regs   [isa.NumRegs]uint32
+				instrs uint64
+			}
+			var first *outcome
+			for _, g := range geoms {
+				c, err := b.NewCore(prog.Tiny)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng, err := NewEngine(Options{Geom: g, Allocator: remap.New(g)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := eng.Run(c, b.MaxInstructions)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Check(c.Mem, c.Regs[isa.A0], prog.Tiny); err != nil {
+					t.Fatalf("%v: wrong architectural result: %v", g, err)
+				}
+				got := &outcome{geom: g, regs: c.Regs, instrs: rep.TotalInstrs}
+				if first == nil {
+					first = got
+					continue
+				}
+				if got.regs != first.regs {
+					t.Errorf("register file diverges between %v and %v", first.geom, g)
+				}
+				if got.instrs != first.instrs {
+					t.Errorf("retired instructions diverge: %v ran %d, %v ran %d",
+						first.geom, first.instrs, g, got.instrs)
+				}
+			}
+		})
 	}
 }

@@ -80,6 +80,16 @@ type Options struct {
 	// pivot offsets that would rotate a configuration onto a dead FU). When
 	// both Health and DisabledCells are set, Health wins.
 	Health *fabric.Health
+	// StaleTranslations models a DBT whose translation memory predates the
+	// failures: new translations are mapped for the pristine fabric (no
+	// health mask), as configurations translated at deploy time would be,
+	// and only placement respects the health map. This is the regime where
+	// clustered failures bite — no pivot of a healthy-shaped full-length
+	// configuration avoids a dead column — and the regime the shape-adaptive
+	// remap allocator (alloc.ConfigRemapper) is built to rescue. The default
+	// (false) re-translates against current health, modelling a DBT flushed
+	// on every failure event.
+	StaleTranslations bool
 	// Wear is the fabric's accumulated cross-epoch NBTI stress map.
 	// Wear-adaptive allocators (alloc.WearSetter) receive it through the
 	// controller and re-explore their placement whenever its version
@@ -265,7 +275,12 @@ func NewEngine(opts Options) (*Engine, error) {
 		trace:  make([]mapper.TraceEntry, 0, opts.MaxTraceLen),
 	}
 	if health != nil {
-		e.disabled = health.Dead
+		// StaleTranslations withholds the mask from the mapper: new
+		// translations assume a pristine fabric, so clustered failures can
+		// make them unplaceable — the case the remap layer rescues.
+		if !opts.StaleTranslations {
+			e.disabled = health.Dead
+		}
 		// An engine-owned controller adopts the health map so placement
 		// avoids dead cells; a shared controller's health is the owner's
 		// business (the lifetime simulator attaches the same map to both).
@@ -343,12 +358,19 @@ func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
 			return err
 		}
 	}
-	off, ok := e.ctrl.Place(cfg)
+	// PlaceOrRemap returns cfg itself on the ordinary path; when clustered
+	// failures block every pivot of the original rectangle, a shape-adaptive
+	// allocator may substitute an architecturally equivalent remapped
+	// configuration (same instruction sequence, possibly a shorter prefix —
+	// the rest of the region then retires on the GPP and the trace builder
+	// re-engages past it). All replay and accounting below runs on whatever
+	// configuration actually loads.
+	mapped, off, ok := e.ctrl.PlaceOrRemap(cfg)
 	if !ok {
-		// Every pivot the allocator proposed would drive a failed FU: the
-		// controller refuses the offload and this step runs on the GPP.
-		// The region is already translated, so the trace builder is not
-		// re-engaged.
+		// Every pivot the allocator proposed would drive a failed FU and no
+		// alternative shape fits either: the controller refuses the offload
+		// and this step runs on the GPP. The region is already translated,
+		// so the trace builder is not re-engaged.
 		if e.unplaceable == nil {
 			e.unplaceable = make(map[uint32]bool)
 			e.unplaceableVer = e.ctrl.Health().Version()
@@ -358,18 +380,18 @@ func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
 		return err
 	}
 
-	pcs, dirs := cfg.ReplayTables()
+	pcs, dirs := mapped.ReplayTables()
 	n, early, err := c.RunExpected(pcs, dirs)
 	if err != nil {
 		return err
 	}
 	e.rep.CGRAInstrs += uint64(n)
-	e.rep.CGRAClasses.Add(ClassCounts(cfg.ClassCountsFirst(n)))
+	e.rep.CGRAClasses.Add(ClassCounts(mapped.ClassCountsFirst(n)))
 
-	execCycles := cfg.ExecCyclesFirst(n)
+	execCycles := mapped.ExecCyclesFirst(n)
 	overhead := e.opts.OffloadOverhead
 	var reconfig uint64
-	if !e.hasResident || e.residentPC != cfg.StartPC || e.residentOff != off {
+	if !e.hasResident || e.residentPC != mapped.StartPC || e.residentOff != off {
 		// Configuration broadcast (Fig. 5a) proceeds as a wavefront ahead
 		// of execution and costs no extra cycles; the ExposeReconfig
 		// ablation charges the excess over the offload overhead instead.
@@ -378,13 +400,13 @@ func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
 				reconfig = rc - overhead
 			}
 		}
-		e.residentPC, e.residentOff, e.hasResident = cfg.StartPC, off, true
+		e.residentPC, e.residentOff, e.hasResident = mapped.StartPC, off, true
 		e.rep.ReconfigEvents++
 	}
 	duration := overhead + reconfig + execCycles
-	e.ctrl.Commit(cfg, off, duration)
+	e.ctrl.Commit(mapped, off, duration)
 
-	e.rep.StressSum += uint64(len(cfg.Cells())) * duration
+	e.rep.StressSum += uint64(len(mapped.Cells())) * duration
 	e.rep.CGRACycles += duration
 	e.rep.OverheadCycles += overhead
 	e.rep.ReconfigCycles += reconfig

@@ -15,6 +15,7 @@ import (
 	"agingcgra/internal/explore"
 	"agingcgra/internal/fabric"
 	"agingcgra/internal/prog"
+	"agingcgra/internal/remap"
 )
 
 // AllocatorFactory builds a fresh allocator for a geometry.
@@ -32,6 +33,11 @@ func ProposedFactory(g fabric.Geometry) alloc.Allocator { return alloc.NewUtiliz
 // the maximum projected ΔVt, fed by the lifetime simulator's accumulated
 // wear map.
 func ExploreFactory(g fabric.Geometry) alloc.Allocator { return explore.New(g) }
+
+// RemapFactory builds the shape-adaptive remapper: the explorer's wear-
+// scored pivot choice plus configuration re-mapping to alternative shapes
+// when clustered failures block every pivot of the original rectangle.
+func RemapFactory(g fabric.Geometry) alloc.Allocator { return remap.New(g) }
 
 // BenchResult holds one benchmark's outcome on one design.
 type BenchResult struct {

@@ -250,6 +250,18 @@ func (e *Explorer) scoreProjected(cells []fabric.Cell, off fabric.Offset) (maxVt
 // alternatives such as the skip-scan fallback it replaces.
 func (e *Explorer) Score(cfg *fabric.Config, off fabric.Offset) float64 {
 	e.projectCells()
+	return e.ProjectedScore(cfg, off)
+}
+
+// Reproject refreshes the per-cell ΔVt projection table ProjectedScore
+// evaluates against. Callers scoring many candidates under one fabric
+// state (the shape-adaptive remapper's (shape × anchor) search) pay the
+// Eq. 1 pass once here instead of once per Score call.
+func (e *Explorer) Reproject() { e.projectCells() }
+
+// ProjectedScore evaluates one candidate against the last projection
+// (see Reproject); Score is Reproject followed by ProjectedScore.
+func (e *Explorer) ProjectedScore(cfg *fabric.Config, off fabric.Offset) float64 {
 	maxVt, _ := e.scoreProjected(cfg.Cells(), off)
 	return maxVt
 }

@@ -1,0 +1,64 @@
+package fabric
+
+import (
+	"testing"
+)
+
+func TestPatternCells(t *testing.T) {
+	g := NewGeometry(2, 16)
+	cases := []struct {
+		name  string
+		count int
+	}{
+		{"healthy", 0},
+		{"none", 0},
+		{"column", 2}, // default C/2
+		{"column:0", 2},
+		{"columns:0+8", 4},
+		{"quadrant", 8}, // row 0 × cols 0-7
+		{"checkerboard", 16},
+		{"checkerboard:1", 16},
+		{"survivor-row:1", 16},
+	}
+	for _, tc := range cases {
+		cells, err := PatternCells(tc.name, g)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if len(cells) != tc.count {
+			t.Errorf("%s: %d cells, want %d", tc.name, len(cells), tc.count)
+		}
+		seen := make(map[Cell]bool)
+		for _, c := range cells {
+			if c.Row < 0 || c.Row >= g.Rows || c.Col < 0 || c.Col >= g.Cols {
+				t.Errorf("%s: cell %v outside %v", tc.name, c, g)
+			}
+			if seen[c] {
+				t.Errorf("%s: duplicate cell %v", tc.name, c)
+			}
+			seen[c] = true
+		}
+	}
+
+	// The two checkerboard parities partition the fabric.
+	a, _ := PatternCells("checkerboard:0", g)
+	b, _ := PatternCells("checkerboard:1", g)
+	if len(a)+len(b) != g.NumFUs() {
+		t.Errorf("checkerboard parities cover %d cells, want %d", len(a)+len(b), g.NumFUs())
+	}
+
+	// The survivor row itself stays alive.
+	surv, _ := PatternCells("survivor-row:1", g)
+	for _, c := range surv {
+		if c.Row == 1 {
+			t.Errorf("survivor-row:1 kills survivor cell %v", c)
+		}
+	}
+
+	for _, bad := range []string{"nope", "column:99", "columns", "columns:0+99", "survivor-row:7", "checkerboard:5"} {
+		if _, err := PatternCells(bad, g); err == nil {
+			t.Errorf("PatternCells(%q) succeeded, want error", bad)
+		}
+	}
+}

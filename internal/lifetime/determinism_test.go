@@ -9,10 +9,13 @@ import (
 	"agingcgra/internal/fabric"
 )
 
-// batch is a small heterogeneous scenario batch: two geometries × three
+// batch is a small heterogeneous scenario batch: two geometries × four
 // allocators, single-kernel mixes at tiny scale. The explorer scenarios
 // exercise the wear-feedback path (no epoch memoization while wear evolves),
-// so the batch covers both the replayed and the re-simulated timelines.
+// so the batch covers both the replayed and the re-simulated timelines. The
+// remap scenarios additionally inject a clustered failure under stale
+// translations, so the shape-search path (and its per-(health, wear)
+// remap cache) is on the deterministic clock too.
 func batch() []Scenario {
 	mk := func(rows, cols int, f dse.AllocatorFactory, bench string) Scenario {
 		return Scenario{
@@ -23,13 +26,27 @@ func batch() []Scenario {
 			MaxYears:   5,
 		}
 	}
+	clustered := func(rows, cols int, f dse.AllocatorFactory, bench, pattern string) Scenario {
+		sc := mk(rows, cols, f, bench)
+		cells, err := fabric.PatternCells(pattern, sc.Geom)
+		if err != nil {
+			panic(err)
+		}
+		sc.InitialDead = cells
+		sc.Engine.StaleTranslations = true
+		return sc
+	}
 	return []Scenario{
 		mk(2, 16, dse.BaselineFactory, "crc32"),
 		mk(2, 16, dse.ProposedFactory, "crc32"),
 		mk(2, 16, dse.ExploreFactory, "crc32"),
+		mk(2, 16, dse.RemapFactory, "crc32"),
 		mk(4, 8, dse.BaselineFactory, "bitcount"),
 		mk(4, 8, dse.ProposedFactory, "bitcount"),
 		mk(4, 8, dse.ExploreFactory, "bitcount"),
+		clustered(2, 16, dse.RemapFactory, "crc32", "columns:0+8"),
+		clustered(2, 16, dse.RemapFactory, "crc32", "survivor-row:1"),
+		clustered(4, 8, dse.RemapFactory, "bitcount", "quadrant"),
 	}
 }
 

@@ -80,8 +80,18 @@ type Scenario struct {
 	Cond aging.Conditions
 	// Profile optionally varies the operating point over time.
 	Profile []Phase
+	// InitialDead lists FU cells already failed when the simulation starts:
+	// the clustered-failure scenarios (dead column, dead quadrant,
+	// checkerboard, survivor row — see fabric.PatternCells) the
+	// shape-adaptive remap evaluation injects. Injected cells count toward
+	// AliveFraction but not toward the death ages, which track aging deaths
+	// only.
+	InitialDead []fabric.Cell
 	// Engine propagates engine options other than Geom/Allocator/
-	// Controller/Health (cache size, latencies, timing, ...).
+	// Controller/Health (cache size, latencies, timing, ...). Setting
+	// Engine.StaleTranslations models a DBT whose translation memory
+	// predates the failures — the regime where clustered deaths drive
+	// translation-only allocators to the GPP.
 	Engine dbt.Options
 	// Refs memoizes stand-alone GPP references; RunScenarios installs a
 	// batch-wide cache automatically.
@@ -141,6 +151,11 @@ func (sc *Scenario) validate() error {
 		if _, ok := prog.ByName(name); !ok {
 			return fmt.Errorf("lifetime: unknown benchmark %q in mix (want one of %v)",
 				name, prog.Names())
+		}
+	}
+	for _, c := range sc.InitialDead {
+		if c.Row < 0 || c.Row >= sc.Geom.Rows || c.Col < 0 || c.Col >= sc.Geom.Cols {
+			return fmt.Errorf("lifetime: initial dead cell %v outside geometry %v", c, sc.Geom)
 		}
 	}
 	return nil
@@ -260,6 +275,11 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	health := fabric.NewHealth(sc.Geom)
+	// Injected clustered failures are dead before the first epoch; they are
+	// not aging deaths, so they do not enter the death-age statistics.
+	for _, c := range sc.InitialDead {
+		health.Kill(c)
+	}
 	// wear accumulates each cell's t·u product in calibration-equivalent
 	// years: Eq. 1 depends on t and u only through t·u, so a cell dies when
 	// its stress-years reach CalibYears·CalibUtil. The same map is threaded

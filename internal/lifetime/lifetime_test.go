@@ -237,3 +237,88 @@ func TestExplorerOutlivesSkipScanAfterFailures(t *testing.T) {
 			explored.NthDeathYears(2), snake.NthDeathYears(2))
 	}
 }
+
+// clusteredScenario injects a named failure pattern before the first epoch
+// under stale translations: configurations are mapped for the pristine
+// fabric, so the cluster decides who stays on the CGRA.
+func clusteredScenario(factory dse.AllocatorFactory, pattern string, maxYears float64) Scenario {
+	sc := beScenario(factory, maxYears)
+	cells, err := fabric.PatternCells(pattern, sc.Geom)
+	if err != nil {
+		panic(err)
+	}
+	sc.InitialDead = cells
+	sc.Engine.StaleTranslations = true
+	return sc
+}
+
+// TestClusteredFailureRemapStaysOnFabric pins the lifetime-level headline
+// of the shape-adaptive remapper: with everything dead but one row and
+// stale translations, the explorer (translation-only) offloads nothing —
+// its first epoch runs entirely on the GPP — while the remap allocator
+// keeps the kernel on-fabric with a real speedup. Injected cells count
+// toward the alive fraction but never toward the aging death ages.
+func TestClusteredFailureRemapStaysOnFabric(t *testing.T) {
+	exp, err := Run(clusteredScenario(dse.ExploreFactory, "survivor-row:1", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmp, err := Run(clusteredScenario(dse.RemapFactory, "survivor-row:1", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := exp.Timeline[0].Offloads; got != 0 {
+		t.Errorf("explorer offloaded %d times through a one-row fabric with stale translations; want 0", got)
+	}
+	if got := rmp.Timeline[0].Offloads; got == 0 {
+		t.Error("remap allocator fell back to the GPP on the survivor row")
+	}
+	if exp.Timeline[0].Speedup > 1+1e-9 {
+		t.Errorf("explorer speedup %v on a GPP-only epoch; want no acceleration", exp.Timeline[0].Speedup)
+	}
+	if rmp.InitialSpeedup <= 1 {
+		t.Errorf("remap speedup %v under the clustered failure; want a real acceleration", rmp.InitialSpeedup)
+	}
+	if rmp.InitialSpeedup <= exp.InitialSpeedup {
+		t.Errorf("remap speedup %v not above explorer's %v under the clustered failure",
+			rmp.InitialSpeedup, exp.InitialSpeedup)
+	}
+
+	for _, r := range []*Result{exp, rmp} {
+		if af := r.Timeline[0].AliveFraction; af > 0.5+1e-9 {
+			t.Errorf("%s: alive fraction %v does not reflect the injected cluster", r.Name, af)
+		}
+		for _, age := range r.DeathAges {
+			if age <= 0 {
+				t.Errorf("%s: injected failure leaked into the death ages: %v", r.Name, r.DeathAges)
+			}
+		}
+	}
+}
+
+// TestEpochMemoKeyCoversRemapState pins the memo-key extension for the
+// shape-adaptive allocator: remap is wear-adaptive (its anchor choice and
+// shape cache re-rank on every wear advance), so epochs must re-simulate
+// while wear accrues; a wear-adaptive scenario whose fabric sees no duty
+// at all — the explorer stuck on the GPP — accrues no wear and must replay
+// from memo.
+func TestEpochMemoKeyCoversRemapState(t *testing.T) {
+	exp, err := Run(clusteredScenario(dse.ExploreFactory, "survivor-row:1", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmp, err := Run(clusteredScenario(dse.RemapFactory, "survivor-row:1", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPP-only epochs leave wear untouched: the memo must kick in.
+	if !exp.Timeline[1].Replayed {
+		t.Error("explorer epoch 1 re-simulated although neither health nor wear changed")
+	}
+	// The remapped kernel keeps stressing the survivor row, so wear moves
+	// every epoch and the memo must not replay stale shape decisions.
+	if rmp.Timeline[1].Replayed {
+		t.Error("remap epoch 1 replayed although wear (and the shape-cache ranking) advanced")
+	}
+}

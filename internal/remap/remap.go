@@ -1,0 +1,317 @@
+// Package remap implements shape-adaptive configuration remapping: the
+// allocation layer that keeps kernels on-fabric when clustered failures
+// block every pivot of the originally translated rectangle.
+//
+// The allocators below the remap layer can only *translate*: the mapper
+// produces one virtual rectangle per trace and the controller slides it
+// around the fabric (with wrap-around). Once failures cluster — a dead
+// column under a full-length configuration, a dead quadrant, everything
+// dead but one row — no offset avoids the failed cells and the controller
+// falls back to the GPP, even when plenty of scattered live capacity
+// remains. That lost capacity is exactly what layout-space exploration
+// recovers (HeLEx; BandMap's resource-constrained remapping): the same
+// instruction sequence re-mapped to a different shape — narrower and
+// taller, or flowed around the dead cells inside the rectangle — often
+// still fits.
+//
+// Remapper wraps the wear-aware explorer: on the ordinary path it *is* the
+// explorer (wear-scored pivot choice over the full-shape configuration);
+// when the controller reports that no pivot of the original rectangle is
+// live (alloc.ConfigRemapper), it rebuilds the configuration's dynamic
+// trace and re-invokes mapper.Map once per candidate (shape × anchor) with
+// a health mask expressed in that anchor's frame, so the greedy row search
+// flows around dead cells inside the rectangle. Candidates are ranked by
+// how much of the sequence they hold (architectural throughput first),
+// then by the explorer's projected-ΔVt wear score (the placement whose
+// worst cell ages least), with deterministic shape-order and row-major
+// anchor tie-breaks. The search outcome — positive or negative — is
+// memoized in a cfgcache.RemapCache keyed by (StartPC, health version,
+// wear version): deaths change which placements exist, wear advances
+// change which the scoring prefers, and both invalidate wholesale.
+package remap
+
+import (
+	"agingcgra/internal/alloc"
+	"agingcgra/internal/cfgcache"
+	"agingcgra/internal/explore"
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/mapper"
+)
+
+// Remapper is the shape-adaptive allocator. It implements alloc.Allocator
+// (delegating the healthy-path pivot choice to the wear-aware explorer),
+// the controller feedback interfaces, and alloc.ConfigRemapper.
+type Remapper struct {
+	geom   fabric.Geometry
+	lat    fabric.LatencyTable
+	ex     *explore.Explorer
+	minOps int
+	shapes []fabric.Geometry
+
+	health *fabric.Health
+	wear   *fabric.Wear
+	cache  *cfgcache.RemapCache
+}
+
+// Option configures the Remapper.
+type Option func(*Remapper)
+
+// WithLatencies sets the latency table the shape search maps with; it must
+// match the engine's (default fabric.DefaultLatencies).
+func WithLatencies(lat fabric.LatencyTable) Option {
+	return func(m *Remapper) { m.lat = lat }
+}
+
+// WithMinOps sets the smallest remapped prefix worth offloading (default 4,
+// matching the engine's translation threshold).
+func WithMinOps(n int) Option {
+	return func(m *Remapper) {
+		if n >= 1 {
+			m.minOps = n
+		}
+	}
+}
+
+// WithShapes overrides the candidate shape list (default CandidateShapes).
+func WithShapes(shapes ...fabric.Geometry) Option {
+	return func(m *Remapper) {
+		if len(shapes) > 0 {
+			m.shapes = shapes
+		}
+	}
+}
+
+// WithExplorerOptions forwards options to the underlying wear-aware
+// explorer (projection horizon, recompute period, NBTI model).
+func WithExplorerOptions(opts ...explore.Option) Option {
+	return func(m *Remapper) { m.ex = explore.New(m.geom, opts...) }
+}
+
+// New builds a shape-adaptive remapper for the physical geometry.
+func New(g fabric.Geometry, opts ...Option) *Remapper {
+	m := &Remapper{
+		geom:   g,
+		lat:    fabric.DefaultLatencies(),
+		ex:     explore.New(g),
+		minOps: 4,
+		shapes: CandidateShapes(g),
+		cache:  cfgcache.NewRemapCache(),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// CandidateShapes returns the deterministic shape ladder the remapper
+// searches for a physical geometry, widest first: the full fabric (a masked
+// re-map at every anchor already flows around most clusters), then
+// half-length and quarter-length rectangles at full and reduced heights
+// down to a single row. Narrower shapes force the greedy mapper to stack
+// ops onto more rows — the "narrower/taller" reshaping — which is what fits
+// a full-length sequence into the live half of a partially dead fabric.
+// Every shape keeps the physical context/configuration line provisioning:
+// the lines span the whole fabric regardless of which sub-rectangle the
+// ops occupy.
+func CandidateShapes(g fabric.Geometry) []fabric.Geometry {
+	var out []fabric.Geometry
+	seen := make(map[[2]int]bool)
+	add := func(rows, cols int) {
+		if rows < 1 || cols < 1 {
+			return
+		}
+		k := [2]int{rows, cols}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, fabric.Geometry{
+			Rows: rows, Cols: cols,
+			CtxLines: g.CtxLines, CfgLines: g.CfgLines,
+		})
+	}
+	for _, cols := range []int{g.Cols, (3 * g.Cols) / 4, g.Cols / 2, g.Cols / 4} {
+		for _, rows := range []int{g.Rows, g.Rows / 2, 1} {
+			add(rows, cols)
+		}
+	}
+	return out
+}
+
+// Name implements alloc.Allocator.
+func (m *Remapper) Name() string { return "remap" }
+
+// Next implements alloc.Allocator: the wear-aware explorer's held pivot for
+// the full-shape configuration. Remapping happens only when the controller
+// reports that no pivot works (RemapConfig).
+func (m *Remapper) Next(cfg *fabric.Config) fabric.Offset { return m.ex.Next(cfg) }
+
+// SetHealth implements alloc.HealthSetter.
+func (m *Remapper) SetHealth(h *fabric.Health) {
+	m.health = h
+	m.ex.SetHealth(h)
+}
+
+// SetWear implements alloc.WearSetter.
+func (m *Remapper) SetWear(w *fabric.Wear) {
+	m.wear = w
+	m.ex.SetWear(w)
+}
+
+// ObserveStress implements alloc.StressObserver.
+func (m *Remapper) ObserveStress(cells []fabric.Cell, off fabric.Offset, cycles uint64) {
+	m.ex.ObserveStress(cells, off, cycles)
+}
+
+// Explorer exposes the underlying wear-aware explorer (tests compare its
+// scores against the remapper's choices).
+func (m *Remapper) Explorer() *explore.Explorer { return m.ex }
+
+// RemapStats exposes the shape-search cache counters.
+func (m *Remapper) RemapStats() cfgcache.RemapStats { return m.cache.Stats() }
+
+// Trace reconstructs the dynamic instruction sequence a configuration was
+// translated from. The mapper places every entry of the consumed prefix (a
+// direct jump becomes a width-0 op), so the configuration's op list in
+// sequence order is the trace.
+func Trace(cfg *fabric.Config) []mapper.TraceEntry {
+	trace := make([]mapper.TraceEntry, len(cfg.Ops))
+	for i, op := range cfg.Ops {
+		trace[i] = mapper.TraceEntry{PC: op.PC, Inst: op.Inst, Taken: op.Taken}
+	}
+	return trace
+}
+
+// Reshape re-maps cfg's instruction sequence for an alternative shape
+// anchored at the given pivot, flowing around dead cells: the mapper's
+// free-row search sees a cell (r,c) of the shape as disabled when the
+// physical cell it lands on under the anchor — ((r,c) shifted by anchor,
+// wrapping in the physical geometry — is dead. It returns the remapped
+// configuration and how many ops of the sequence it holds; (nil, 0) when
+// not even the first op fits. A nil health map reshapes on a pristine
+// fabric — the architectural-equivalence property tests use exactly that.
+func Reshape(cfg *fabric.Config, shape fabric.Geometry, anchor fabric.Offset, phys fabric.Geometry, health *fabric.Health, lat fabric.LatencyTable) (*fabric.Config, int) {
+	var disabled func(fabric.Cell) bool
+	if health != nil && health.DeadCount() > 0 {
+		disabled = func(c fabric.Cell) bool {
+			return health.Dead(anchor.Apply(c, phys))
+		}
+	}
+	return mapper.Map(Trace(cfg), mapper.Options{
+		Geom:     shape,
+		Lat:      lat,
+		Disabled: disabled,
+	})
+}
+
+// RemapConfig implements alloc.ConfigRemapper, with two triggers:
+//
+//   - capacity: the translated rectangle has no live pivot (placed is
+//     false). The search substitutes the candidate holding the longest
+//     prefix of the sequence, breaking ties by projected wear — the GPP
+//     rescue.
+//   - wear: a pivot exists, but some full-sequence reshape projects a
+//     strictly lower worst-cell ΔVt than the translated placement. The
+//     remapper substitutes it: at decision time its placement set is a
+//     superset of the explorer's, so the chosen placement never projects
+//     more worst-cell wear than the translation-only choice did.
+//
+// Search outcomes are memoized per (StartPC, health version, wear
+// version) and held until either version moves — the decision snapshots
+// the duty observed at the region's first offload, mirroring the
+// explorer's own pivot hold period, rather than re-ranking as within-run
+// duty drifts. On a pristine fabric the remapper is exactly the explorer
+// and the search never runs.
+func (m *Remapper) RemapConfig(cfg *fabric.Config, off fabric.Offset, placed bool) (*fabric.Config, fabric.Offset, bool) {
+	if cfg == nil || len(cfg.Ops) == 0 || m.health == nil || m.health.DeadCount() == 0 {
+		if !placed {
+			return nil, fabric.Offset{}, false
+		}
+		return cfg, off, true
+	}
+	healthVer := m.health.Version()
+	var wearVer uint64
+	if m.wear != nil {
+		wearVer = m.wear.Version()
+	}
+	// A nil Cfg with OK set is the keep-the-translation marker: the offset
+	// then follows the explorer's live pivot, not a cached one. The marker
+	// is only ever written when a pivot existed; placement success is a
+	// pure function of the health state, so a marker hit with placed false
+	// cannot happen — recompute defensively if it ever does.
+	if e, ok := m.cache.Lookup(cfg.StartPC, healthVer, wearVer); ok {
+		if e.OK && e.Cfg == nil {
+			if placed {
+				return cfg, off, true
+			}
+		} else {
+			return e.Cfg, e.Off, e.OK
+		}
+	}
+	entry := m.search(cfg)
+	if placed {
+		// The projection is still fresh from the search pass.
+		full := entry.OK && len(entry.Cfg.Ops) == len(cfg.Ops)
+		if !full || m.ex.ProjectedScore(entry.Cfg, entry.Off) >= m.ex.ProjectedScore(cfg, off) {
+			entry = cfgcache.RemapEntry{OK: true} // keep the translation
+		}
+	}
+	m.cache.Insert(cfg.StartPC, healthVer, wearVer, entry)
+	if entry.OK && entry.Cfg == nil {
+		return cfg, off, true
+	}
+	return entry.Cfg, entry.Off, entry.OK
+}
+
+// search scans every candidate (shape × anchor), keeping the placement
+// that holds the longest prefix of the sequence and, among equally long
+// ones, minimises the explorer's projected worst-cell ΔVt. Ties beyond the
+// score break by shape order then row-major anchor, so the search is
+// deterministic.
+func (m *Remapper) search(cfg *fabric.Config) cfgcache.RemapEntry {
+	minOps := m.minOps
+	if n := len(cfg.Ops); n < minOps {
+		minOps = n
+	}
+	// One Eq. 1 projection pass serves the whole candidate scan: the
+	// projection depends only on the fabric state and the observed duty,
+	// neither of which changes mid-search.
+	m.ex.Reproject()
+	var best cfgcache.RemapEntry
+	bestConsumed := 0
+	bestScore := 0.0
+	for _, shape := range m.shapes {
+		if shape.Rows > m.geom.Rows || shape.Cols > m.geom.Cols {
+			continue
+		}
+		for ar := 0; ar < m.geom.Rows; ar++ {
+			for ac := 0; ac < m.geom.Cols; ac++ {
+				anchor := fabric.Offset{Row: ar, Col: ac}
+				mc, consumed := Reshape(cfg, shape, anchor, m.geom, m.health, m.lat)
+				if mc == nil || consumed < minOps || consumed < bestConsumed {
+					continue
+				}
+				// The anchor-frame mask guarantees liveness by construction;
+				// re-checking keeps the never-dead-placement invariant even
+				// if a shape list with out-of-range cells sneaks in.
+				if !m.health.PlacementOK(mc.Cells(), anchor) {
+					continue
+				}
+				score := m.ex.ProjectedScore(mc, anchor)
+				if consumed > bestConsumed || score < bestScore {
+					best = cfgcache.RemapEntry{Cfg: mc, Off: anchor, OK: true}
+					bestConsumed, bestScore = consumed, score
+				}
+			}
+		}
+	}
+	return best
+}
+
+var (
+	_ alloc.Allocator      = (*Remapper)(nil)
+	_ alloc.HealthSetter   = (*Remapper)(nil)
+	_ alloc.WearSetter     = (*Remapper)(nil)
+	_ alloc.StressObserver = (*Remapper)(nil)
+	_ alloc.ConfigRemapper = (*Remapper)(nil)
+)

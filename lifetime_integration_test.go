@@ -119,3 +119,54 @@ func TestExplorerThreeWayLifetime(t *testing.T) {
 		t.Error("third-death comparison missing a data point")
 	}
 }
+
+// TestRemapOutlivesExplorerOnDeadColumns pins the shape-adaptive remap
+// headline on the BE design: with a dead column pair injected before the
+// first epoch and stale translations (configurations mapped for the
+// pristine fabric, as a real DBT's translation memory would be), the
+// translation-only explorer loses the hot kernel configurations to the GPP
+// — no pivot of a full-length healthy rectangle avoids the columns — while
+// the remap allocator re-maps them to shapes that flow around the cluster.
+// The remap scenario must therefore offload strictly more and accelerate
+// strictly more in the first epoch, and — because its wear trigger only
+// ever substitutes placements projecting less worst-cell wear — reach its
+// first, second and third FU death no earlier than the explorer.
+func TestRemapOutlivesExplorerOnDeadColumns(t *testing.T) {
+	mk := func(allocator string) LifetimeConfig {
+		return LifetimeConfig{
+			Allocator:         allocator,
+			Benchmarks:        []string{"crc32"},
+			EpochYears:        0.25,
+			MaxYears:          12,
+			DeadPattern:       "columns:0+8",
+			StaleTranslations: true,
+		}
+	}
+	results, err := RunLifetimes([]LifetimeConfig{mk("explore"), mk("remap")}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explored, remapped := results[0], results[1]
+
+	// The kernel stays on-fabric under remap where the explorer fell back.
+	if remapped.Timeline[0].Offloads <= explored.Timeline[0].Offloads {
+		t.Errorf("remap offloads %d not above explorer's %d under the dead columns",
+			remapped.Timeline[0].Offloads, explored.Timeline[0].Offloads)
+	}
+	if remapped.InitialSpeedup <= explored.InitialSpeedup {
+		t.Errorf("remap speedup %v not above explorer's %v under the dead columns",
+			remapped.InitialSpeedup, explored.InitialSpeedup)
+	}
+
+	// And lives at least as long: the wear trigger never accepts a
+	// placement projecting more worst-cell wear than translation alone.
+	for n := 1; n <= 3; n++ {
+		ed, rd := explored.NthDeathYears(n), remapped.NthDeathYears(n)
+		if ed == 0 || rd == 0 {
+			t.Fatalf("death #%d missing within the horizon: explorer %v, remap %v", n, ed, rd)
+		}
+		if rd < ed {
+			t.Errorf("remap death #%d at %v years, earlier than explorer's %v", n, rd, ed)
+		}
+	}
+}
