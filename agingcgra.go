@@ -265,6 +265,17 @@ type LifetimeConfig struct {
 	// failures drive translation-only allocators to the GPP and the "remap"
 	// allocator keeps the kernel on-fabric by re-mapping shapes.
 	StaleTranslations bool
+	// ShapeTranslations enables translation-time shape search: the DBT
+	// maps each hot trace over the candidate shape ladder against current
+	// health and wear instead of only the identity full-fabric shape, and
+	// the translation cache is keyed on the (health, wear) versions the
+	// shape decisions were taken under. Mutually exclusive with
+	// StaleTranslations.
+	ShapeTranslations bool
+	// ShapeLadder names the candidate shape ladder ("halving", "full-only",
+	// "columns", "rows", "fine"; empty: halving) shared by the
+	// translation-time search and the remap allocator's rescue scan.
+	ShapeLadder string
 }
 
 // lifetimeRefs memoizes the stand-alone GPP reference runs across every
@@ -290,6 +301,21 @@ func (c LifetimeConfig) scenario() (lifetime.Scenario, error) {
 	if _, err := NewAllocator(c.Allocator, g); err != nil {
 		return lifetime.Scenario{}, err
 	}
+	if c.ShapeTranslations && c.StaleTranslations {
+		return lifetime.Scenario{}, fmt.Errorf(
+			"agingcgra: ShapeTranslations and StaleTranslations are mutually exclusive")
+	}
+	ladder, err := fabric.ShapeLadderByName(c.ShapeLadder)
+	if err != nil {
+		return lifetime.Scenario{}, err
+	}
+	if c.ShapeLadder != "" && !c.ShapeTranslations &&
+		c.Allocator != "remap" && c.Allocator != "shape-adaptive" {
+		// Nothing in this configuration walks a ladder: silently ignoring
+		// the name would mislabel the results as a ladder sweep.
+		return lifetime.Scenario{}, fmt.Errorf(
+			"agingcgra: ShapeLadder %q has no effect without ShapeTranslations or the remap allocator", c.ShapeLadder)
+	}
 	allocName := c.Allocator
 	factory := func(g fabric.Geometry) alloc.Allocator {
 		a, err := NewAllocator(allocName, g)
@@ -297,6 +323,11 @@ func (c LifetimeConfig) scenario() (lifetime.Scenario, error) {
 			a = alloc.Baseline{}
 		}
 		return a
+	}
+	if c.ShapeLadder != "" && (allocName == "remap" || allocName == "shape-adaptive") {
+		// Keep the allocation-time rescue searching the same ladder the
+		// translation-time search walks.
+		factory = dse.LadderRemapFactory(ladder)
 	}
 	model := aging.NewModel()
 	cond := model.Cond
@@ -331,6 +362,10 @@ func (c LifetimeConfig) scenario() (lifetime.Scenario, error) {
 		Refs:        lifetimeRefs,
 	}
 	sc.Engine.StaleTranslations = c.StaleTranslations
+	sc.Engine.ShapeTranslations = c.ShapeTranslations
+	if c.ShapeTranslations {
+		sc.Engine.Ladder = ladder
+	}
 	return sc, nil
 }
 

@@ -104,16 +104,22 @@ func main() {
 		}
 		rep.Results = append(rep.Results, serial, parallel)
 
-		// The three lifetime allocators run as one batch and the facade
+		// The lifetime scenarios run as one batch each and the facade
 		// memoizes the stand-alone GPP reference process-wide, so the
 		// reference co-simulation is computed once for all of them (and for
-		// the warm-up), not once per allocator.
-		for _, lc := range []struct{ allocator, label string }{
-			{"utilization-aware", "Lifetime/BE-snake-crc32-20y"},
-			{"explore", "Lifetime/BE-explore-crc32-20y"},
-			{"remap", "Lifetime/BE-remap-crc32-20y"},
+		// the warm-up), not once per allocator. The shapedbt scenario is the
+		// translation-time shape search on the remap allocator — the
+		// translation hot path with the ladder scan on the clock.
+		for _, lc := range []struct {
+			cfg   agingcgra.LifetimeConfig
+			label string
+		}{
+			{agingcgra.LifetimeConfig{Allocator: "utilization-aware"}, "Lifetime/BE-snake-crc32-20y"},
+			{agingcgra.LifetimeConfig{Allocator: "explore"}, "Lifetime/BE-explore-crc32-20y"},
+			{agingcgra.LifetimeConfig{Allocator: "remap"}, "Lifetime/BE-remap-crc32-20y"},
+			{agingcgra.LifetimeConfig{Allocator: "remap", ShapeTranslations: true}, "Lifetime/BE-shapedbt-crc32-20y"},
 		} {
-			life, err := benchLifetimeScenario(lc.allocator, lc.label)
+			life, err := benchLifetimeScenario(lc.cfg, lc.label)
 			if err != nil {
 				fatal(err)
 			}
@@ -289,17 +295,14 @@ func benchFig6Sweep(size agingcgra.Size) (serial, parallel Result, err error) {
 }
 
 // benchLifetimeScenario times the lifetime engine's hot loop: a 20-year
-// BE-design scenario under the named allocator, fabric failures included
-// (so the epoch memo, the post-death re-simulation path and — for the
-// wear-aware explorer — the per-epoch placement exploration are all on the
-// clock).
-func benchLifetimeScenario(allocator, label string) (Result, error) {
-	cfg := agingcgra.LifetimeConfig{
-		Allocator:  allocator,
-		Benchmarks: []string{"crc32"},
-		EpochYears: 0.25,
-		MaxYears:   20,
-	}
+// BE-design scenario under the given configuration, fabric failures
+// included (so the epoch memo, the post-death re-simulation path, the
+// per-epoch placement exploration and — for shape-aware translation — the
+// ladder scan are all on the clock).
+func benchLifetimeScenario(cfg agingcgra.LifetimeConfig, label string) (Result, error) {
+	cfg.Benchmarks = []string{"crc32"}
+	cfg.EpochYears = 0.25
+	cfg.MaxYears = 20
 	// Warm-up: kernel assembly (cached process-wide). The timed region runs
 	// the iterations as one batch so the stand-alone GPP reference is
 	// memoized across them and paid once, not per iteration.

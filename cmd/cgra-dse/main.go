@@ -7,6 +7,7 @@
 //	cgra-dse -size small -csv fig6.csv
 //	cgra-dse -allocator explore        # sweep with the wear-aware explorer
 //	cgra-dse -explorer-sweep           # (horizon x period) x failure DSE
+//	cgra-dse -shape-sweep              # shape-ladder x failure DSE (shape-aware translation)
 package main
 
 import (
@@ -28,10 +29,13 @@ func main() {
 		"allocation strategy to sweep with (baseline, utilization-aware, explore, remap, ...)")
 	explorerSweep := flag.Bool("explorer-sweep", false,
 		"run the explorer's own DSE instead of Fig. 6: (projection horizon x recompute period) across clustered-failure scenarios")
+	shapeSweep := flag.Bool("shape-sweep", false,
+		"run the shape-ladder DSE instead of Fig. 6: candidate ladder variants x failure scenarios under translation-time shape search")
 	horizons := flag.String("horizons", "", "explorer-sweep projection horizons in years, comma-separated (default 0.25,1,4)")
 	periods := flag.String("periods", "", "explorer-sweep recompute periods, comma-separated (default 4,16,64)")
-	failures := flag.String("failures", "", "explorer-sweep failure patterns, comma-separated (default healthy,column,quadrant)")
-	years := flag.Float64("years", 20, "explorer-sweep simulated horizon in years")
+	ladders := flag.String("ladders", "", "shape-sweep ladder variants, comma-separated (default all: halving,full-only,columns,rows,fine)")
+	failures := flag.String("failures", "", "sweep failure patterns, comma-separated (explorer default healthy,column,quadrant; shape default healthy,column,columns:0+8)")
+	years := flag.Float64("years", 20, "sweep simulated horizon in years")
 	flag.Parse()
 
 	size, err := parseSize(*sizeName)
@@ -39,6 +43,28 @@ func main() {
 		fatal(err)
 	}
 
+	if *shapeSweep {
+		opt := agingcgra.ShapeSweepOptions{
+			Size:     size,
+			MaxYears: *years,
+			Workers:  *workers,
+		}
+		if *ladders != "" {
+			opt.Ladders = splitList(*ladders)
+		}
+		if *failures != "" {
+			opt.Failures = splitList(*failures)
+		}
+		res, err := agingcgra.ShapeSweep(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Render())
+		if *csvPath != "" {
+			writeCSV(*csvPath, res.CSVHeader(), res.CSVRows())
+		}
+		return
+	}
 	if *explorerSweep {
 		opt := agingcgra.ExplorerSweepOptions{
 			Size:     size,
@@ -56,9 +82,7 @@ func main() {
 			}
 		}
 		if *failures != "" {
-			for _, f := range strings.Split(*failures, ",") {
-				opt.Failures = append(opt.Failures, strings.TrimSpace(f))
-			}
+			opt.Failures = splitList(*failures)
 		}
 		res, err := agingcgra.ExplorerSweep(opt)
 		if err != nil {
@@ -92,6 +116,14 @@ func main() {
 		}
 		writeCSV(*csvPath, []string{"design", "rows", "cols", "rel_time", "rel_energy", "avg_util"}, rows)
 	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(part))
+	}
+	return out
 }
 
 func writeCSV(path string, header []string, rows [][]string) {

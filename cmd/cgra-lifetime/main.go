@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"agingcgra"
+	"agingcgra/internal/report"
 )
 
 // Output is the emitted JSON document.
@@ -44,6 +45,10 @@ func main() {
 		"clustered-failure pattern injected before the first epoch: column[:c], columns:c1+c2, quadrant, checkerboard[:p], survivor-row[:r]")
 	stale := flag.Bool("stale-translations", false,
 		"translate for the pristine fabric (configs predate the failures); placement still respects health")
+	shaped := flag.Bool("shape-translations", false,
+		"translation-time shape search: map each hot trace over the candidate shape ladder against current health/wear")
+	ladder := flag.String("ladder", "",
+		"candidate shape ladder for the shape searches: halving (default), full-only, columns, rows, fine")
 	bench := flag.String("bench", "", "comma-separated workload mix (default: full suite)")
 	sizeName := flag.String("size", "tiny", "workload size: tiny, small, large")
 	epoch := flag.Float64("epoch", 0.5, "epoch length in years")
@@ -77,6 +82,8 @@ func main() {
 			Vdd:               *vdd,
 			DeadPattern:       *dead,
 			StaleTranslations: *stale,
+			ShapeTranslations: *shaped,
+			ShapeLadder:       *ladder,
 		})
 	}
 
@@ -141,6 +148,34 @@ func printSummary(results []*agingcgra.LifetimeResult) {
 				longest.NthDeathYears(n)/shortest.NthDeathYears(n))
 		}
 	}
+	printSearchCost(results)
+}
+
+// printSearchCost renders the derived hardware cost of each scenario's
+// placement/shape searches: the searchcost model's replacement for the
+// "asserted cheap" hold-period story.
+func printSearchCost(results []*agingcgra.LifetimeResult) {
+	var rows []report.SearchCostRow
+	for _, r := range results {
+		if r.Search == nil {
+			continue
+		}
+		rows = append(rows, report.SearchCostRow{
+			Name:              r.Name,
+			ExplorerCycles:    r.Search.Cost.Explorer.Cycles,
+			RemapCycles:       r.Search.Cost.Remap.Cycles,
+			TranslationCycles: r.Search.Cost.Translation.Cycles,
+			TotalCycles:       r.Search.TotalCycles,
+			EnergyNJ:          r.Search.TotalEnergyNJ,
+			PerOffloadCycles:  r.Search.PerOffloadCycles,
+			OverheadFrac:      r.Search.OverheadFrac,
+		})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\nderived search cost (explorer pivot scans, remap rescue scans, translation ladder scans):\n%s",
+		report.SearchCostTable(rows))
 }
 
 func deathAge(r *agingcgra.LifetimeResult, n int) string {

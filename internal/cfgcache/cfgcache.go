@@ -36,6 +36,9 @@ type Stats struct {
 	Misses     uint64
 	Insertions uint64
 	Evictions  uint64
+	// Flushes counts wholesale state invalidations (SyncState observing a
+	// moved health/wear version under shape-aware translation).
+	Flushes uint64
 }
 
 // HitRate returns hits / (hits + misses), or 0 when empty.
@@ -71,6 +74,13 @@ type Cache struct {
 	// per-retired-instruction residency checks become one array load.
 	dense     []*entry
 	denseBase uint32
+
+	// State keying for shape-aware translation (SyncState): the (health,
+	// wear) versions the resident translations' shape decisions were taken
+	// under, mirroring RemapCache's wholesale-flush contract.
+	stateHealth uint64
+	stateWear   uint64
+	stateValid  bool
 }
 
 // New builds a cache holding at most capacity configurations.
@@ -83,6 +93,30 @@ func New(capacity int, policy Policy) *Cache {
 		policy:   policy,
 		entries:  make(map[uint32]*entry, capacity),
 	}
+}
+
+// SyncState keys the resident translations on the fabric state their shape
+// decisions were taken under, mirroring cfgcache.RemapCache: when the
+// observed (health version, wear version) pair moves past the recorded
+// one, every resident translation's shape was chosen for a fabric that no
+// longer exists — a death changes which shapes place, a wear advance
+// changes which shape the wear tie-break prefers — so the cache flushes
+// wholesale (versions only grow; every entry is stale) and reports it, and
+// the engine lets the trace builder re-translate against the new state.
+// The first call only records the state. Engines translating
+// shape-unaware never call this and keep the plain PC-keyed behaviour.
+func (c *Cache) SyncState(healthVer, wearVer uint64) (flushed bool) {
+	if c.stateValid && c.stateHealth == healthVer && c.stateWear == wearVer {
+		return false
+	}
+	moved := c.stateValid
+	c.stateHealth, c.stateWear, c.stateValid = healthVer, wearVer, true
+	if moved && len(c.entries) > 0 {
+		c.Clear()
+		c.stats.Flushes++
+		return true
+	}
+	return false
 }
 
 // Capacity returns the configured entry limit.

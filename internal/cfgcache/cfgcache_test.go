@@ -284,3 +284,47 @@ func TestRemapCacheVersionedFlush(t *testing.T) {
 		t.Errorf("hits/misses = %d/%d, want 2/3", st.Hits, st.Misses)
 	}
 }
+
+// TestSyncStateFlushesOnVersionMove pins the translation-cache state
+// keying behind shape-aware translation, mirroring RemapCache: the first
+// SyncState only records the (health, wear) versions, an unchanged state
+// keeps every entry, and any version move flushes wholesale — dense table
+// included — and counts a flush.
+func TestSyncStateFlushesOnVersionMove(t *testing.T) {
+	c := New(8, LRU)
+	c.EnableDense(0x1000, 16)
+	if c.SyncState(1, 0) {
+		t.Error("first SyncState flushed; it should only record the state")
+	}
+	c.Insert(cfg(0x1000))
+	c.Insert(cfg(0x1008))
+	if c.SyncState(1, 0) {
+		t.Error("unchanged state flushed")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+
+	if !c.SyncState(2, 0) {
+		t.Error("health version move did not flush")
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d after health flush, want 0", c.Len())
+	}
+	if c.Contains(0x1000) {
+		t.Error("dense table still reports a flushed translation")
+	}
+
+	c.Insert(cfg(0x1000))
+	if !c.SyncState(2, 7) {
+		t.Error("wear version move did not flush")
+	}
+	if got := c.Stats().Flushes; got != 2 {
+		t.Errorf("flushes = %d, want 2", got)
+	}
+
+	// An empty cache observing a move records it without counting a flush.
+	if c.SyncState(3, 7) {
+		t.Error("empty cache reported a flush")
+	}
+}

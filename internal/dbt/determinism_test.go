@@ -238,21 +238,31 @@ func TestEngineMatchesNaiveReference(t *testing.T) {
 }
 
 // TestShapeEquivalentArchitecturalState is the engine-level half of the
-// architectural-equivalence layer behind the shape-adaptive remapper: for
-// every kernel in the suite, co-simulating on reshaped fabrics (2×16,
-// 4×8, 8×4, 16×2 — the same 32 FUs in different rectangles) under the
-// remap allocator yields byte-identical architectural state in the Report and
-// the core — the same retired-instruction total and the same final
-// register file, with the golden checksum intact. Shapes redistribute ops
-// in space and change only the performance numbers; any divergence here
-// means a mapping leaked into architectural behaviour and remapping would
-// be unsound.
+// architectural-equivalence layer behind the shape-adaptive remapper and
+// the translation-time shape search: for every kernel in the suite,
+// co-simulating on reshaped fabrics (2×16, 4×8, 8×4, 16×2 — the same 32
+// FUs in different rectangles) under the remap allocator yields
+// byte-identical architectural state in the Report and the core — the same
+// retired-instruction total and the same final register file, with the
+// golden checksum intact — and the same holds when the DBT itself chooses
+// the shape per translation (ShapeTranslations walking the candidate
+// ladder). Shapes redistribute ops in space and change only the
+// performance numbers; any divergence here means a mapping leaked into
+// architectural behaviour and reshaping (at either layer) would be
+// unsound.
 func TestShapeEquivalentArchitecturalState(t *testing.T) {
 	geoms := []fabric.Geometry{
 		fabric.NewGeometry(2, 16),
 		fabric.NewGeometry(4, 8),
 		fabric.NewGeometry(8, 4),
 		fabric.NewGeometry(16, 2),
+	}
+	modes := []struct {
+		name   string
+		shaped bool
+	}{
+		{"identity-translation", false},
+		{"dbt-chosen-shapes", true},
 	}
 	for _, name := range prog.Names() {
 		t.Run(name, func(t *testing.T) {
@@ -262,37 +272,45 @@ func TestShapeEquivalentArchitecturalState(t *testing.T) {
 			}
 			type outcome struct {
 				geom   fabric.Geometry
+				mode   string
 				regs   [isa.NumRegs]uint32
 				instrs uint64
 			}
 			var first *outcome
-			for _, g := range geoms {
-				c, err := b.NewCore(prog.Tiny)
-				if err != nil {
-					t.Fatal(err)
-				}
-				eng, err := NewEngine(Options{Geom: g, Allocator: remap.New(g)})
-				if err != nil {
-					t.Fatal(err)
-				}
-				rep, err := eng.Run(c, b.MaxInstructions)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if err := b.Check(c.Mem, c.Regs[isa.A0], prog.Tiny); err != nil {
-					t.Fatalf("%v: wrong architectural result: %v", g, err)
-				}
-				got := &outcome{geom: g, regs: c.Regs, instrs: rep.TotalInstrs}
-				if first == nil {
-					first = got
-					continue
-				}
-				if got.regs != first.regs {
-					t.Errorf("register file diverges between %v and %v", first.geom, g)
-				}
-				if got.instrs != first.instrs {
-					t.Errorf("retired instructions diverge: %v ran %d, %v ran %d",
-						first.geom, first.instrs, g, got.instrs)
+			for _, mode := range modes {
+				for _, g := range geoms {
+					c, err := b.NewCore(prog.Tiny)
+					if err != nil {
+						t.Fatal(err)
+					}
+					eng, err := NewEngine(Options{
+						Geom:              g,
+						Allocator:         remap.New(g),
+						ShapeTranslations: mode.shaped,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := eng.Run(c, b.MaxInstructions)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := b.Check(c.Mem, c.Regs[isa.A0], prog.Tiny); err != nil {
+						t.Fatalf("%v/%s: wrong architectural result: %v", g, mode.name, err)
+					}
+					got := &outcome{geom: g, mode: mode.name, regs: c.Regs, instrs: rep.TotalInstrs}
+					if first == nil {
+						first = got
+						continue
+					}
+					if got.regs != first.regs {
+						t.Errorf("register file diverges between %v/%s and %v/%s",
+							first.geom, first.mode, g, mode.name)
+					}
+					if got.instrs != first.instrs {
+						t.Errorf("retired instructions diverge: %v/%s ran %d, %v/%s ran %d",
+							first.geom, first.mode, first.instrs, g, mode.name, got.instrs)
+					}
 				}
 			}
 		})

@@ -22,6 +22,7 @@ import (
 	"agingcgra/internal/gpp"
 	"agingcgra/internal/isa"
 	"agingcgra/internal/mapper"
+	"agingcgra/internal/searchcost"
 )
 
 // Options configures an engine instance.
@@ -99,6 +100,26 @@ type Options struct {
 	// Wear never affects placeability — a worn FU still computes — so the
 	// unplaceable memo below stays keyed on health alone.
 	Wear *fabric.Wear
+	// ShapeTranslations enables translation-time shape search: instead of
+	// mapping every hot trace at the identity full-fabric shape, the DBT
+	// maps it once per rung of the candidate shape ladder (Ladder) against
+	// the current health mask and keeps the candidate consuming the most
+	// ops, then the fewest ExecCycles, then the least projected wear on the
+	// cells it would occupy — fresh translations are born shape- and
+	// health-aware instead of relying on the allocation-time remap rescue.
+	// Because the chosen shape is a decision taken under one fabric state,
+	// the translation cache is then keyed on the (health, wear) versions
+	// (cfgcache.Cache.SyncState, mirroring RemapCache): any version move
+	// flushes the translations wholesale and the trace builder re-captures
+	// against the new state. Mutually exclusive with StaleTranslations —
+	// shape-aware translation is precisely the regime where the DBT's
+	// translation memory follows the fabric state instead of predating it.
+	ShapeTranslations bool
+	// Ladder is the candidate shape ladder the translation-time search
+	// walks (zero value: fabric.DefaultShapeLadder, the same ladder the
+	// shape-adaptive remapper searches). Only consulted when
+	// ShapeTranslations is set.
+	Ladder fabric.ShapeLadder
 }
 
 func (o *Options) applyDefaults() {
@@ -173,6 +194,13 @@ type Report struct {
 	ReconfigEvents uint64
 	Cache          cfgcache.Stats
 
+	// Search tallies the run's placement/shape-search work — the engine's
+	// own translation-time ladder scans plus the allocator's pivot and
+	// rescue scans (searchcost.Instrumented), as deltas over this run — so
+	// the derived hardware-cost model can price the searches the hold
+	// periods and caches amortise.
+	Search searchcost.Counts
+
 	// StressSum is the total FU-cycle product of this run: for every
 	// offload, the number of configured cells times the residency cycles.
 	// The energy model charges active FU power against it.
@@ -197,6 +225,17 @@ type Engine struct {
 	ctrl     *core.Controller
 	health   *fabric.Health
 	disabled func(fabric.Cell) bool
+
+	// shapes is the materialised translation-time shape ladder (nil when
+	// ShapeTranslations is off); search tallies the ladder scans for the
+	// derived cost model. stateFlushed records that a SyncState flush
+	// happened in finalizeTrace after the current offload's configuration
+	// was already looked up — that configuration's shape decision is stale
+	// and the offload must take the GPP path even though the cache state
+	// is already resynced.
+	shapes       []fabric.Geometry
+	search       searchcost.Counts
+	stateFlushed bool
 
 	// unplaceable memoizes configurations the controller found no live
 	// placement for, keyed by StartPC and invalidated whenever the health
@@ -267,12 +306,30 @@ func NewEngine(opts Options) (*Engine, error) {
 		}
 		health = h
 	}
+	if opts.ShapeTranslations && opts.StaleTranslations {
+		return nil, fmt.Errorf("dbt: ShapeTranslations and StaleTranslations are mutually exclusive: " +
+			"shape-aware translation keys the translation memory on the fabric state, stale translation predates it")
+	}
 	e := &Engine{
 		opts:   opts,
 		cache:  cfgcache.New(opts.CacheCapacity, opts.CachePolicy),
 		ctrl:   ctrl,
 		health: health,
 		trace:  make([]mapper.TraceEntry, 0, opts.MaxTraceLen),
+	}
+	if opts.ShapeTranslations {
+		ladder := opts.Ladder
+		if ladder.Name == "" && len(ladder.ColFracs) == 0 && len(ladder.RowFracs) == 0 {
+			ladder = fabric.DefaultShapeLadder()
+		}
+		e.shapes = ladder.Shapes(opts.Geom)
+		if len(e.shapes) == 0 {
+			// A malformed ladder (e.g. fractions on one axis only) must not
+			// silently degrade to identity translation while the run is
+			// treated as shape-aware everywhere else.
+			return nil, fmt.Errorf("dbt: shape ladder %q expands to no candidate shapes for %v",
+				ladder.Name, opts.Geom)
+		}
 	}
 	if health != nil {
 		// StaleTranslations withholds the mask from the mapper: new
@@ -313,6 +370,13 @@ func (e *Engine) Run(c *gpp.Core, limit uint64) (*Report, error) {
 		e.cache.EnableDense(p.TextBase, len(p.Text))
 		e.ensureTables(p)
 	}
+	// The allocator may be shared across a suite of engines (one fabric),
+	// so its search counters are attributed to this run as a delta.
+	var allocStart searchcost.Counts
+	instrumented, _ := e.ctrl.Allocator().(searchcost.Instrumented)
+	if instrumented != nil {
+		allocStart = instrumented.SearchCounts()
+	}
 	for !c.Halted() {
 		if c.RetiredCount() >= limit {
 			return nil, fmt.Errorf("dbt: instruction limit %d reached at pc %#x", limit, c.PC)
@@ -339,6 +403,10 @@ func (e *Engine) Run(c *gpp.Core, limit uint64) (*Report, error) {
 	e.rep.TotalInstrs = e.rep.GPPInstrs + e.rep.CGRAInstrs
 	e.rep.Cache = e.cache.Stats()
 	e.rep.Util = e.ctrl.Utilization()
+	e.rep.Search = e.search
+	if instrumented != nil {
+		e.rep.Search.Add(instrumented.SearchCounts().Sub(allocStart))
+	}
 	rep := e.rep
 	return &rep, nil
 }
@@ -350,6 +418,25 @@ func (e *Engine) Run(c *gpp.Core, limit uint64) (*Report, error) {
 // divergence, and the instruction/class/cycle attribution is applied once
 // from the count of ops that ran.
 func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
+	if e.opts.ShapeTranslations {
+		// The resident translations' shapes were decided under one
+		// (health, wear) state; if either version moved, every decision is
+		// stale — flush wholesale (mirroring RemapCache) and retire this
+		// instruction on the GPP with the trace builder engaged, so the
+		// region re-translates against the new state. finalizeTrace may
+		// already have consumed the flush between this offload's cache hit
+		// and this check (stateFlushed): the looked-up configuration is
+		// stale all the same.
+		if e.cache.SyncState(e.stateVersions()) || e.stateFlushed {
+			e.stateFlushed = false
+			r, err := e.stepOnGPP(c)
+			if err != nil {
+				return err
+			}
+			e.observe(r)
+			return nil
+		}
+	}
 	if h := e.ctrl.Health(); h != nil && e.unplaceable != nil {
 		if e.unplaceableVer != h.Version() {
 			e.unplaceable, e.unplaceableVer = nil, h.Version()
@@ -417,6 +504,18 @@ func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
 	return nil
 }
 
+// stateVersions snapshots the (health, wear) versions the shape decisions
+// key on; an unattached map reads as version zero.
+func (e *Engine) stateVersions() (healthVer, wearVer uint64) {
+	if e.health != nil {
+		healthVer = e.health.Version()
+	}
+	if w := e.ctrl.Wear(); w != nil {
+		wearVer = w.Version()
+	}
+	return healthVer, wearVer
+}
+
 // stepOnGPP retires one instruction on the GPP and attributes its cycles,
 // instruction count and class: the shared accounting of the normal GPP path
 // and the unplaceable-configuration fallback (which skips the trace
@@ -454,17 +553,35 @@ func (e *Engine) observe(r gpp.Retire) {
 }
 
 // finalizeTrace maps the captured trace and inserts the configuration if it
-// is big enough and projected profitable.
+// is big enough and projected profitable. Under ShapeTranslations the
+// mapping is a search over the candidate shape ladder instead of a single
+// identity-shape placement.
 func (e *Engine) finalizeTrace() {
 	if len(e.trace) < e.opts.MinOps {
 		e.trace = e.trace[:0]
 		return
 	}
-	cfg, consumed := mapper.Map(e.trace, mapper.Options{
-		Geom:     e.opts.Geom,
-		Lat:      e.opts.Lat,
-		Disabled: e.disabled,
-	})
+	var cfg *fabric.Config
+	var consumed int
+	if e.shapes != nil {
+		// Key the insert on the state the shape decision is about to be
+		// taken under: if the versions moved since the resident entries
+		// were decided, they are stale and flush here — otherwise this
+		// fresh translation would be recorded under the old state and
+		// wrongly flushed (wasting its ladder scan) at its own first
+		// offload. A configuration looked up before this flush is still
+		// stale; remember the flush so the offload path rejects it.
+		if e.cache.SyncState(e.stateVersions()) {
+			e.stateFlushed = true
+		}
+		cfg, consumed = e.translateShapes()
+	} else {
+		cfg, consumed = mapper.Map(e.trace, mapper.Options{
+			Geom:     e.opts.Geom,
+			Lat:      e.opts.Lat,
+			Disabled: e.disabled,
+		})
+	}
 	e.trace = e.trace[:0]
 	if cfg == nil || consumed < e.opts.MinOps {
 		return
@@ -474,6 +591,57 @@ func (e *Engine) finalizeTrace() {
 	}
 	e.cache.Insert(cfg)
 	e.rep.Translations++
+}
+
+// translateShapes is the translation-time shape search: the captured trace
+// is mapped once per rung of the shape ladder against the current health
+// mask (identity frame — the allocation layer still chooses the pivot),
+// and the candidate consuming the most ops wins — architectural throughput
+// first — with ties broken by fewest ExecCycles (the denser placement),
+// then least accumulated wear over the cells of the candidate's mapped
+// (identity) frame — a shape-selection proxy: the allocation layer still
+// chooses the actual pivot wear-aware, this tie-break only prefers, among
+// equally fast shapes, one whose home footprint shows the allocator a
+// fresher starting window — then ladder order for determinism. One mapper
+// run per rung keeps this a
+// pure ladder scan — an order of magnitude cheaper than the remap rescue's
+// (shape × anchor) scan, which remains the backstop for placements the
+// identity-frame mask cannot serve. The scan is counted for the derived
+// search-cost model.
+func (e *Engine) translateShapes() (*fabric.Config, int) {
+	e.search.LadderScans++
+	wear := e.ctrl.Wear()
+	var best *fabric.Config
+	bestConsumed := 0
+	var bestCycles uint64
+	bestWear := 0.0
+	for _, shape := range e.shapes {
+		e.search.LadderCandidates++
+		cfg, consumed := mapper.Map(e.trace, mapper.Options{
+			Geom:     shape,
+			Lat:      e.opts.Lat,
+			Disabled: e.disabled,
+			Probes:   &e.search.LadderProbes,
+		})
+		if cfg == nil || consumed < bestConsumed {
+			continue
+		}
+		cycles := cfg.ExecCycles()
+		wearYears := 0.0
+		if wear != nil {
+			for _, cell := range cfg.Cells() {
+				if y := wear.YearsAt(cell); y > wearYears {
+					wearYears = y
+				}
+			}
+		}
+		if best == nil || consumed > bestConsumed ||
+			cycles < bestCycles ||
+			(cycles == bestCycles && wearYears < bestWear) {
+			best, bestConsumed, bestCycles, bestWear = cfg, consumed, cycles, wearYears
+		}
+	}
+	return best, bestConsumed
 }
 
 // profitable projects whether executing cfg on the CGRA beats the GPP.

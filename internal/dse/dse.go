@@ -39,6 +39,14 @@ func ExploreFactory(g fabric.Geometry) alloc.Allocator { return explore.New(g) }
 // when clustered failures block every pivot of the original rectangle.
 func RemapFactory(g fabric.Geometry) alloc.Allocator { return remap.New(g) }
 
+// LadderRemapFactory builds the shape-adaptive remapper searching a
+// specific candidate shape ladder — the shape-ladder DSE pairs it with the
+// same ladder on the DBT side (dbt.Options.Ladder), so the allocation-time
+// rescue and the translation-time search explore one space.
+func LadderRemapFactory(l fabric.ShapeLadder) AllocatorFactory {
+	return func(g fabric.Geometry) alloc.Allocator { return remap.New(g, remap.WithLadder(l)) }
+}
+
 // BenchResult holds one benchmark's outcome on one design.
 type BenchResult struct {
 	Name      string

@@ -16,9 +16,20 @@
 // threshold.
 //
 // Because an exhaustive pivot search per execution would be costly in
-// hardware, the search runs every RecomputeEvery executions and the chosen
-// pivot is held in between; a health or wear state change forces an
-// immediate re-exploration, mirroring alloc.HealthAware.
+// hardware, the search runs every RecomputeEvery *committed* executions and
+// the chosen pivot is held in between; a health or wear state change forces
+// an immediate re-exploration, mirroring alloc.HealthAware. The hold period
+// counts executions the controller actually committed (ObserveStress), not
+// allocator proposals: the controller's dead-cell skip-scan may call Next
+// up to NumFUs times per offload, and counting those proposals would
+// silently erode RecomputeEvery toward "recompute every offload" on
+// failing fabrics. The held pivot is additionally keyed per configuration
+// (object identity — StartPC alone collides across a mix's programs,
+// which share a text base): a pivot explored for one kernel's footprint
+// is never blindly inherited by another kernel whose footprint it may be
+// wear-suboptimal (or dead-hitting) for. The cost of the scans is no longer asserted
+// cheap: the explorer counts its explorations and per-cell evaluations,
+// and internal/searchcost derives the per-offload overhead from them.
 package explore
 
 import (
@@ -28,6 +39,7 @@ import (
 	"agingcgra/internal/aging"
 	"agingcgra/internal/alloc"
 	"agingcgra/internal/fabric"
+	"agingcgra/internal/searchcost"
 )
 
 // Explorer is the wear-aware placement explorer. It implements
@@ -44,23 +56,51 @@ type Explorer struct {
 	// recomputeEvery is the pivot re-exploration period in executions.
 	recomputeEvery uint64
 
-	health    *fabric.Health
-	healthVer uint64
-	wear      *fabric.Wear
-	wearVer   uint64
+	health *fabric.Health
+	wear   *fabric.Wear
 
 	// Within-run observed stress (physical cells, row-major), fed back by
 	// the controller on every committed execution.
 	stress []uint64
 	active uint64
 
-	count   uint64
-	current fabric.Offset
+	// count is the number of committed executions observed so far: the
+	// clock the hold period runs on. Allocator proposals (Next calls) do
+	// not advance it — only ObserveStress does.
+	count uint64
+	// pivots holds the per-configuration exploration state: the held
+	// pivot, the commit count at which it expires, and the fabric-state
+	// versions it was explored under. The key is the configuration object
+	// itself, not its StartPC: one allocator serves every benchmark of a
+	// lifetime mix and the programs share a text base, so distinct
+	// kernels can collide on a PC while their footprints (and therefore
+	// their pivot argmins and no-live verdicts) differ. The map is never
+	// iterated, so pointer keying stays deterministic.
+	pivots map[*fabric.Config]*pivotState
 
 	// cellVt caches the per-cell projected ΔVt of the last exploration; the
 	// projection depends only on the cell, not on the candidate pivot, so
 	// one pass amortises the Eq. 1 evaluation across the whole pivot scan.
 	cellVt []float64
+
+	// counts tallies the search work for the derived cost model.
+	counts searchcost.Counts
+}
+
+// pivotState is one configuration's held exploration outcome.
+type pivotState struct {
+	off fabric.Offset
+	// nextAt is the committed-execution count at which the pivot expires.
+	nextAt uint64
+	// healthVer/wearVer are the fabric-state versions the pivot was
+	// explored under; either moving marks it stale.
+	healthVer uint64
+	wearVer   uint64
+	// noLive records that the exploration found no live placement for this
+	// footprint at healthVer: further proposals skip the (futile) rescan
+	// until the health state changes, so an unplaceable configuration
+	// costs one exploration per fabric state instead of one per proposal.
+	noLive bool
 }
 
 // Option configures the Explorer.
@@ -99,6 +139,7 @@ func New(g fabric.Geometry, opts ...Option) *Explorer {
 		horizonYears:   1,
 		recomputeEvery: 16,
 		stress:         make([]uint64, g.NumFUs()),
+		pivots:         make(map[*fabric.Config]*pivotState),
 		cellVt:         make([]float64, g.NumFUs()),
 	}
 	for _, o := range opts {
@@ -113,69 +154,90 @@ func (e *Explorer) Name() string {
 }
 
 // SetHealth implements alloc.HealthSetter.
-func (e *Explorer) SetHealth(h *fabric.Health) {
-	e.health = h
-	if h != nil {
-		e.healthVer = h.Version()
-	}
-}
+func (e *Explorer) SetHealth(h *fabric.Health) { e.health = h }
 
 // SetWear implements alloc.WearSetter.
-func (e *Explorer) SetWear(w *fabric.Wear) {
-	e.wear = w
-	if w != nil {
-		e.wearVer = w.Version()
-	}
-}
+func (e *Explorer) SetWear(w *fabric.Wear) { e.wear = w }
 
-// ObserveStress implements alloc.StressObserver.
+// ObserveStress implements alloc.StressObserver. Committed executions are
+// also the clock of the pivot hold period: one commit advances the count
+// by one, however many proposals the controller's skip-scan consumed to
+// place it.
 func (e *Explorer) ObserveStress(cells []fabric.Cell, off fabric.Offset, cycles uint64) {
 	for _, cell := range cells {
 		p := off.Apply(cell, e.geom)
 		e.stress[p.Row*e.geom.Cols+p.Col] += cycles
 	}
 	e.active += cycles
+	e.count++
 }
 
-// stale reports whether the held pivot may rest on outdated state: a cell
-// died or the lifetime simulator advanced the wear map since the last
-// exploration.
-func (e *Explorer) stale() bool {
-	if e.health != nil && e.healthVer != e.health.Version() {
-		return true
+// versions snapshots the observable fabric-state versions (zero when a map
+// is not attached).
+func (e *Explorer) versions() (healthVer, wearVer uint64) {
+	if e.health != nil {
+		healthVer = e.health.Version()
 	}
-	if e.wear != nil && e.wearVer != e.wear.Version() {
-		return true
+	if e.wear != nil {
+		wearVer = e.wear.Version()
 	}
-	return false
+	return healthVer, wearVer
 }
 
-// Next implements alloc.Allocator: the held pivot, re-explored every
-// recomputeEvery executions, immediately on health/wear changes, and
-// whenever the held pivot — explored for a possibly different footprint —
-// would drive this configuration onto a dead FU. The last rule matters on
+// Next implements alloc.Allocator: the configuration's held pivot,
+// re-explored once its hold period of recomputeEvery committed executions
+// expires, immediately on health/wear changes, and whenever the held pivot
+// would drive the footprint onto a dead FU. The last rule matters on
 // fabrics smaller than the hold period: the controller's skip-scan is
 // bounded by NumFUs proposals, so without it a stale pivot could exhaust
 // the scan and force a GPP fallback although live placements exist.
+//
+// The pivot (and its hold state) is keyed by the configuration object:
+// with a multi-kernel mix, one kernel never inherits a pivot explored for
+// another kernel's footprint — the inherited liveness check used to save
+// correctness there, but the wear score was never revalidated, so the
+// second kernel could ride a wear-suboptimal pivot for a whole hold
+// period. Proposals do not advance the hold clock (ObserveStress does), so
+// repeated skip-scan calls within one offload can neither erode the period
+// nor trigger a mid-scan re-exploration.
 func (e *Explorer) Next(cfg *fabric.Config) fabric.Offset {
-	if cfg != nil {
-		recompute := e.count%e.recomputeEvery == 0 || e.stale()
-		if !recompute && e.health != nil && e.health.DeadCount() > 0 &&
-			!e.health.PlacementOK(cfg.Cells(), e.current) {
-			recompute = true
-		}
-		if recompute {
-			if e.health != nil {
-				e.healthVer = e.health.Version()
-			}
-			if e.wear != nil {
-				e.wearVer = e.wear.Version()
-			}
-			e.current = e.Explore(cfg)
-		}
+	if cfg == nil {
+		return fabric.Offset{}
 	}
-	e.count++
-	return e.current
+	st, ok := e.pivots[cfg]
+	if !ok {
+		st = &pivotState{}
+		e.pivots[cfg] = st
+		st.nextAt = e.count // unexplored: force the first search
+	}
+	healthVer, wearVer := e.versions()
+	stale := st.healthVer != healthVer || st.wearVer != wearVer
+	recompute := stale || e.count >= st.nextAt
+	if !recompute && e.health != nil && e.health.DeadCount() > 0 &&
+		!e.health.PlacementOK(cfg.Cells(), st.off) {
+		// The footprint dead-hits the held pivot. If the last exploration
+		// under this exact health state already proved no live placement
+		// exists, rescanning is futile — the controller will fall back to
+		// the GPP; otherwise re-explore immediately.
+		if st.noLive {
+			return st.off
+		}
+		recompute = true
+	}
+	if recompute {
+		if st.noLive && !stale {
+			// Known-unplaceable under an unchanged health state: the expiry
+			// of the hold period cannot create a live placement.
+			st.nextAt = e.count + e.recomputeEvery
+			return st.off
+		}
+		st.healthVer, st.wearVer = healthVer, wearVer
+		st.off = e.Explore(cfg)
+		st.nextAt = e.count + e.recomputeEvery
+		st.noLive = e.health != nil && e.health.DeadCount() > 0 &&
+			!e.health.PlacementOK(cfg.Cells(), st.off)
+	}
+	return st.off
 }
 
 // projectCells fills cellVt with each physical cell's projected ΔVt:
@@ -216,12 +278,15 @@ func (e *Explorer) Explore(cfg *fabric.Config) fabric.Offset {
 	bestMax := math.Inf(1)
 	bestSum := math.Inf(1)
 	found := false
+	e.counts.PivotScans++
+	e.counts.PivotProjections += uint64(e.geom.NumFUs())
 	for r := 0; r < e.geom.Rows; r++ {
 		for c := 0; c < e.geom.Cols; c++ {
 			off := fabric.Offset{Row: r, Col: c}
 			if checkHealth && !e.health.PlacementOK(cells, off) {
 				continue
 			}
+			e.counts.PivotCells += uint64(len(cells))
 			maxVt, sumVt := e.scoreProjected(cells, off)
 			if !found || maxVt < bestMax || (maxVt == bestMax && sumVt < bestSum) {
 				best, bestMax, bestSum, found = off, maxVt, sumVt, true
@@ -266,9 +331,19 @@ func (e *Explorer) ProjectedScore(cfg *fabric.Config, off fabric.Offset) float64
 	return maxVt
 }
 
+// SearchCounts implements searchcost.Instrumented: the accumulated pivot
+// scans, per-cell score evaluations and projection refreshes the derived
+// cost model prices. Explorations counts full scans directly — the number
+// the hold-period regression tests pin.
+func (e *Explorer) SearchCounts() searchcost.Counts { return e.counts }
+
+// Explorations returns how many full pivot scans ran so far.
+func (e *Explorer) Explorations() uint64 { return e.counts.PivotScans }
+
 var (
-	_ alloc.Allocator      = (*Explorer)(nil)
-	_ alloc.HealthSetter   = (*Explorer)(nil)
-	_ alloc.WearSetter     = (*Explorer)(nil)
-	_ alloc.StressObserver = (*Explorer)(nil)
+	_ alloc.Allocator         = (*Explorer)(nil)
+	_ alloc.HealthSetter      = (*Explorer)(nil)
+	_ alloc.WearSetter        = (*Explorer)(nil)
+	_ alloc.StressObserver    = (*Explorer)(nil)
+	_ searchcost.Instrumented = (*Explorer)(nil)
 )

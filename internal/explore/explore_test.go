@@ -256,3 +256,128 @@ func TestHeldPivotRevalidatedPerConfig(t *testing.T) {
 		}
 	}
 }
+
+// TestHoldPeriodCountsCommittedExecutions regresses the hold-period
+// accounting bug: the RecomputeEvery clock must advance on committed
+// executions (ObserveStress), not on allocator proposals. The controller's
+// dead-cell skip-scan calls Next up to NumFUs times per offload, so under
+// the pre-fix per-proposal counting a skip-scan-heavy workload silently
+// eroded RecomputeEvery=16 toward "recompute every offload" (and could
+// re-explore mid-scan). The scenario drives exactly that mix: one
+// placeable kernel committed once per round, plus one unplaceable kernel
+// whose offload burns a full NumFUs-proposal skip-scan every round.
+func TestHoldPeriodCountsCommittedExecutions(t *testing.T) {
+	g := fabric.NewGeometry(2, 4) // NumFUs = 8, below the 16-commit hold
+	narrow := &fabric.Config{
+		StartPC:  0x1000,
+		Geom:     g,
+		Ops:      []fabric.PlacedOp{{Seq: 0, Row: 0, Col: 0, Width: 1}},
+		UsedCols: 1,
+	}
+	// The wide kernel needs the whole fabric: one dead cell anywhere makes
+	// it unplaceable, so the controller's Place loop proposes NumFUs times.
+	var wideOps []fabric.PlacedOp
+	for i := 0; i < g.NumFUs(); i++ {
+		wideOps = append(wideOps, fabric.PlacedOp{
+			Seq: i, Row: i / g.Cols, Col: i % g.Cols, Width: 1,
+		})
+	}
+	wide := &fabric.Config{StartPC: 0x2000, Geom: g, Ops: wideOps, UsedCols: g.Cols}
+
+	e := New(g) // RecomputeEvery = 16
+	h := fabric.NewHealth(g)
+	h.Kill(fabric.Cell{Row: 1, Col: 3})
+	e.SetHealth(h)
+	e.SetWear(fabric.NewWear(g))
+
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		// One committed offload of the placeable kernel...
+		off := e.Next(narrow)
+		if !h.PlacementOK(narrow.Cells(), off) {
+			t.Fatalf("round %d: narrow proposal %v dead-hits", i, off)
+		}
+		e.ObserveStress(narrow.Cells(), off, 10)
+		// ...then the controller's full skip-scan for the unplaceable one.
+		for j := 0; j < g.NumFUs(); j++ {
+			if off := e.Next(wide); h.PlacementOK(wide.Cells(), off) {
+				t.Fatalf("round %d: wide kernel placed despite the dead cell at %v", i, off)
+			}
+		}
+	}
+
+	// 40 commits at RecomputeEvery=16 re-explore the narrow kernel at
+	// commits 0, 16 and 32; the unplaceable wide kernel costs exactly one
+	// exploration for the whole (unchanged) health state. Per-proposal
+	// counting would have advanced the clock 9x per round and rescanned the
+	// unplaceable footprint on every proposal — hundreds of explorations.
+	if got := e.Explorations(); got != 4 {
+		t.Errorf("%d explorations over %d rounds, want 4 (3 narrow re-explorations + 1 wide no-live scan)",
+			got, rounds)
+	}
+}
+
+// TestHeldPivotKeyedPerConfig regresses the shared-pivot bug: with a
+// multi-kernel mix the explorer used to hold one global pivot, so kernel B
+// inherited a pivot explored for kernel A's footprint — liveness was
+// revalidated but the wear score was not, and B could ride a
+// wear-suboptimal placement for a whole hold period. Keyed per StartPC,
+// each kernel's first proposal is the argmin for its own footprint.
+func TestHeldPivotKeyedPerConfig(t *testing.T) {
+	g := fabric.NewGeometry(2, 8)
+	kernelA := &fabric.Config{ // single-cell footprint
+		StartPC:  0x1000,
+		Geom:     g,
+		Ops:      []fabric.PlacedOp{{Seq: 0, Row: 0, Col: 0, Width: 1}},
+		UsedCols: 1,
+	}
+	kernelB := &fabric.Config{ // vertical pair: needs both rows of a column
+		StartPC: 0x2000,
+		Geom:    g,
+		Ops: []fabric.PlacedOp{
+			{Seq: 0, Row: 0, Col: 0, Width: 1},
+			{Seq: 1, Row: 1, Col: 0, Width: 1},
+		},
+		UsedCols: 1,
+	}
+
+	e := New(g)
+	// Background wear of 1y everywhere; (0,3) is the uniquely freshest
+	// single cell (A's argmin) but its row-1 neighbour is the most worn
+	// cell of the fabric, so the shared pivot would be the worst possible
+	// inheritance for B, whose own argmin is the column-5 pair.
+	fresh := fabric.Cell{Row: 0, Col: 3} // A's argmin
+	pairCol := 5                         // B's argmin column
+	w := fabric.NewWear(g)
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			cell := fabric.Cell{Row: r, Col: c}
+			switch {
+			case cell == fresh: // 0y: A's unique argmin
+			case cell == (fabric.Cell{Row: 1, Col: 3}):
+				w.Add(cell, 5) // the trap below A's pivot
+			case c == pairCol:
+				w.Add(cell, 0.1) // B's argmin pair
+			default:
+				w.Add(cell, 1)
+			}
+		}
+	}
+	e.SetWear(w)
+
+	offA := e.Next(kernelA)
+	if got := offA.Apply(fabric.Cell{Row: 0, Col: 0}, g); got != fresh {
+		t.Fatalf("kernel A placed on %v, want the freshest cell %v", got, fresh)
+	}
+	offB := e.Next(kernelB)
+	worst := 0.0
+	for _, cell := range kernelB.Cells() {
+		if y := w.YearsAt(offB.Apply(cell, g)); y > worst {
+			worst = y
+		}
+	}
+	if worst > 0.1 {
+		t.Errorf("kernel B inherited a wear-suboptimal pivot %v (worst cell %v stress-years); want its own argmin pair at column %d",
+			offB, worst, pairCol)
+	}
+}

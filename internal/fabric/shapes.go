@@ -1,0 +1,118 @@
+package fabric
+
+import "fmt"
+
+// ShapeLadder generates the candidate shape list the layout-space searches
+// walk: the shape-adaptive remapper's (shape × anchor) rescue scan and the
+// DBT's translation-time ladder scan share one ladder, so a kernel remapped
+// at allocation time and a kernel translated shape-aware explore the same
+// space. A ladder is expressed as fractions of the physical geometry —
+// ColFracs × RowFracs, crossed widest-first — so one definition scales
+// across every fabric size the design-space exploration sweeps.
+//
+// The zero value is not a usable ladder; take DefaultShapeLadder (the
+// halving ladder the remapper shipped with) or ShapeLadderByName for the
+// sweepable variants.
+type ShapeLadder struct {
+	// Name identifies the ladder in reports and DSE sweeps.
+	Name string
+	// ColFracs lists the fractions of the physical column count tried, in
+	// search order (widest first keeps the search deterministic and biased
+	// toward architectural throughput).
+	ColFracs []float64
+	// RowFracs lists the fractions of the physical row count crossed with
+	// every column fraction. Fractions that floor below one row clamp to a
+	// single row, so 0 is the conventional "down to one row" rung.
+	RowFracs []float64
+}
+
+// DefaultShapeLadder is the halving ladder: the full fabric (a masked
+// re-map at every anchor already flows around most clusters), then
+// three-quarter-, half- and quarter-length rectangles at full height, half
+// height and a single row. Narrower shapes force the greedy mapper to
+// stack ops onto more rows — the "narrower/taller" reshaping — which is
+// what fits a full-length sequence into the live half of a partially dead
+// fabric.
+func DefaultShapeLadder() ShapeLadder {
+	return ShapeLadder{
+		Name:     "halving",
+		ColFracs: []float64{1, 0.75, 0.5, 0.25},
+		RowFracs: []float64{1, 0.5, 0},
+	}
+}
+
+// ShapeLadderNames lists the named ladder variants in the order the
+// shape-ladder DSE sweeps them.
+func ShapeLadderNames() []string {
+	return []string{"halving", "full-only", "columns", "rows", "fine"}
+}
+
+// ShapeLadderByName returns a named ladder variant:
+//
+//   - "halving": the default (see DefaultShapeLadder);
+//   - "full-only": only the full fabric — the degenerate ladder that
+//     reduces the search to a masked re-map of the original shape;
+//   - "columns": length reductions at full height only (no row folding);
+//   - "rows": height reductions at full length only;
+//   - "fine": eighth-step length reductions crossed with the default
+//     heights — the densest (most expensive) ladder.
+func ShapeLadderByName(name string) (ShapeLadder, error) {
+	switch name {
+	case "", "halving":
+		return DefaultShapeLadder(), nil
+	case "full-only":
+		return ShapeLadder{Name: "full-only", ColFracs: []float64{1}, RowFracs: []float64{1}}, nil
+	case "columns":
+		return ShapeLadder{Name: "columns", ColFracs: []float64{1, 0.75, 0.5, 0.25}, RowFracs: []float64{1}}, nil
+	case "rows":
+		return ShapeLadder{Name: "rows", ColFracs: []float64{1}, RowFracs: []float64{1, 0.5, 0}}, nil
+	case "fine":
+		return ShapeLadder{
+			Name:     "fine",
+			ColFracs: []float64{1, 0.875, 0.75, 0.625, 0.5, 0.375, 0.25, 0.125},
+			RowFracs: []float64{1, 0.5, 0},
+		}, nil
+	}
+	return ShapeLadder{}, fmt.Errorf("fabric: unknown shape ladder %q (want one of %v)",
+		name, ShapeLadderNames())
+}
+
+// Shapes materialises the ladder for a physical geometry: every (column
+// fraction × row fraction) rectangle, floored to whole cells, clamped to at
+// least one row/column, deduplicated in search order. Every shape keeps the
+// physical context/configuration line provisioning: the lines span the
+// whole fabric regardless of which sub-rectangle the ops occupy.
+func (l ShapeLadder) Shapes(g Geometry) []Geometry {
+	var out []Geometry
+	seen := make(map[[2]int]bool)
+	clamp := func(frac float64, dim int) int {
+		n := int(frac * float64(dim))
+		if n < 1 {
+			return 1
+		}
+		if n > dim {
+			return dim
+		}
+		return n
+	}
+	for _, cf := range l.ColFracs {
+		cols := clamp(cf, g.Cols)
+		for _, rf := range l.RowFracs {
+			rows := clamp(rf, g.Rows)
+			k := [2]int{rows, cols}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, Geometry{
+				Rows: rows, Cols: cols,
+				CtxLines: g.CtxLines, CfgLines: g.CfgLines,
+			})
+		}
+	}
+	return out
+}
+
+// Len returns the number of rungs the ladder expands to on a geometry:
+// the candidate count the search-cost model charges per ladder scan.
+func (l ShapeLadder) Len(g Geometry) int { return len(l.Shapes(g)) }

@@ -1,0 +1,102 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDefaultLadderMatchesHalvingScan pins the extraction: the default
+// ladder reproduces the remapper's original hard-coded halving scan —
+// cols ∈ {L, 3L/4, L/2, L/4} crossed with rows ∈ {W, W/2, 1}, deduplicated
+// in that order, line provisioning inherited from the physical geometry.
+func TestDefaultLadderMatchesHalvingScan(t *testing.T) {
+	for _, g := range []Geometry{
+		NewGeometry(2, 16), NewGeometry(4, 8), NewGeometry(8, 32),
+		NewGeometry(1, 8), NewGeometry(2, 3), NewGeometry(1, 1),
+	} {
+		var want []Geometry
+		seen := make(map[[2]int]bool)
+		add := func(rows, cols int) {
+			if rows < 1 || cols < 1 || seen[[2]int{rows, cols}] {
+				return
+			}
+			seen[[2]int{rows, cols}] = true
+			want = append(want, Geometry{Rows: rows, Cols: cols, CtxLines: g.CtxLines, CfgLines: g.CfgLines})
+		}
+		for _, cols := range []int{g.Cols, (3 * g.Cols) / 4, g.Cols / 2, g.Cols / 4} {
+			for _, rows := range []int{g.Rows, g.Rows / 2, 1} {
+				add(rows, cols)
+			}
+		}
+		got := DefaultShapeLadder().Shapes(g)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: default ladder %v, want the original halving scan %v", g, got, want)
+		}
+	}
+}
+
+// TestShapeLadderByName checks every advertised variant materialises to
+// valid, in-bounds, deduplicated shapes with the full fabric first, and
+// that unknown names are rejected.
+func TestShapeLadderByName(t *testing.T) {
+	g := NewGeometry(2, 16)
+	for _, name := range ShapeLadderNames() {
+		l, err := ShapeLadderByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if l.Name != name {
+			t.Errorf("ladder %q reports name %q", name, l.Name)
+		}
+		shapes := l.Shapes(g)
+		if len(shapes) == 0 {
+			t.Fatalf("%s: empty ladder", name)
+		}
+		if shapes[0] != (Geometry{Rows: g.Rows, Cols: g.Cols, CtxLines: g.CtxLines, CfgLines: g.CfgLines}) {
+			t.Errorf("%s: first rung %v is not the full fabric", name, shapes[0])
+		}
+		seen := make(map[[2]int]bool)
+		for _, s := range shapes {
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s: invalid shape %v: %v", name, s, err)
+			}
+			if s.Rows > g.Rows || s.Cols > g.Cols {
+				t.Errorf("%s: shape %v exceeds the physical geometry", name, s)
+			}
+			if s.CtxLines != g.CtxLines || s.CfgLines != g.CfgLines {
+				t.Errorf("%s: shape %v lost the physical line provisioning", name, s)
+			}
+			k := [2]int{s.Rows, s.Cols}
+			if seen[k] {
+				t.Errorf("%s: duplicate shape %v", name, s)
+			}
+			seen[k] = true
+		}
+	}
+	if _, err := ShapeLadderByName("no-such-ladder"); err == nil {
+		t.Error("unknown ladder name accepted")
+	}
+	if l, err := ShapeLadderByName(""); err != nil || l.Name != "halving" {
+		t.Errorf("empty name = (%v, %v), want the default halving ladder", l.Name, err)
+	}
+}
+
+// TestLadderClampsToOneCell pins the degenerate-geometry behaviour:
+// fractions flooring below one cell clamp instead of vanishing, so every
+// ladder is non-empty on every valid geometry.
+func TestLadderClampsToOneCell(t *testing.T) {
+	for _, name := range ShapeLadderNames() {
+		l, _ := ShapeLadderByName(name)
+		for _, g := range []Geometry{NewGeometry(1, 1), NewGeometry(1, 2), NewGeometry(2, 1)} {
+			shapes := l.Shapes(g)
+			if len(shapes) == 0 {
+				t.Fatalf("%s on %v: empty ladder", name, g)
+			}
+			for _, s := range shapes {
+				if s.Rows < 1 || s.Cols < 1 {
+					t.Errorf("%s on %v: degenerate shape %v", name, g, s)
+				}
+			}
+		}
+	}
+}

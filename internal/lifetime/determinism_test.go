@@ -15,7 +15,9 @@ import (
 // so the batch covers both the replayed and the re-simulated timelines. The
 // remap scenarios additionally inject a clustered failure under stale
 // translations, so the shape-search path (and its per-(health, wear)
-// remap cache) is on the deterministic clock too.
+// remap cache) is on the deterministic clock too, and the shaped scenarios
+// put the translation-time ladder search (with its state-keyed translation
+// cache) under the same serial==parallel == -race contract.
 func batch() []Scenario {
 	mk := func(rows, cols int, f dse.AllocatorFactory, bench string) Scenario {
 		return Scenario{
@@ -36,6 +38,18 @@ func batch() []Scenario {
 		sc.Engine.StaleTranslations = true
 		return sc
 	}
+	shaped := func(rows, cols int, f dse.AllocatorFactory, bench, pattern string) Scenario {
+		sc := mk(rows, cols, f, bench)
+		if pattern != "" {
+			cells, err := fabric.PatternCells(pattern, sc.Geom)
+			if err != nil {
+				panic(err)
+			}
+			sc.InitialDead = cells
+		}
+		sc.Engine.ShapeTranslations = true
+		return sc
+	}
 	return []Scenario{
 		mk(2, 16, dse.BaselineFactory, "crc32"),
 		mk(2, 16, dse.ProposedFactory, "crc32"),
@@ -47,6 +61,9 @@ func batch() []Scenario {
 		clustered(2, 16, dse.RemapFactory, "crc32", "columns:0+8"),
 		clustered(2, 16, dse.RemapFactory, "crc32", "survivor-row:1"),
 		clustered(4, 8, dse.RemapFactory, "bitcount", "quadrant"),
+		shaped(2, 16, dse.ExploreFactory, "crc32", "columns:0+8"),
+		shaped(2, 16, dse.RemapFactory, "crc32", "columns:0+8"),
+		shaped(4, 8, dse.ExploreFactory, "bitcount", ""),
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"agingcgra/internal/fabric"
 	"agingcgra/internal/isa"
 	"agingcgra/internal/prog"
+	"agingcgra/internal/searchcost"
 )
 
 // Phase is one segment of a time-varying operating-point profile: the
@@ -228,6 +229,31 @@ type Result struct {
 	// InitialSpeedup and FinalSpeedup bracket the performance decay.
 	InitialSpeedup float64 `json:"initial_speedup"`
 	FinalSpeedup   float64 `json:"final_speedup"`
+
+	// Search is the derived hardware cost of the scenario's placement and
+	// shape searches (explorer pivot scans, remap rescue scans,
+	// translation-time ladder scans), summed over every simulated epoch —
+	// replayed epochs included, since the hardware re-runs its scans each
+	// epoch regardless of whether the simulator memoized the outcome. Nil
+	// when the allocator ran no counted search (baseline, snake).
+	Search *SearchReport `json:"search,omitempty"`
+}
+
+// SearchReport is the scenario-level summary of the derived search-cost
+// model: raw event counts, priced cycles/energy per search family, and the
+// per-offload overhead the hold periods and caches are supposed to keep
+// negligible — derived numbers replacing the "asserted cheap" story.
+type SearchReport struct {
+	Counts searchcost.Counts    `json:"counts"`
+	Cost   searchcost.Breakdown `json:"cost"`
+	// TotalCycles and TotalEnergyNJ aggregate the three families.
+	TotalCycles   float64 `json:"total_cycles"`
+	TotalEnergyNJ float64 `json:"total_energy_nj"`
+	// PerOffloadCycles is TotalCycles amortised over every offload of the
+	// simulated horizon; OverheadFrac relates it to the TransRec cycles
+	// actually simulated (search cycles / execution cycles).
+	PerOffloadCycles float64 `json:"per_offload_cycles"`
+	OverheadFrac     float64 `json:"overhead_frac"`
 }
 
 // NthDeathYears returns the interpolated age of the n-th FU failure
@@ -246,6 +272,7 @@ type epochRun struct {
 	trCycles  uint64
 	instrs    uint64
 	offloads  uint64
+	search    searchcost.Counts
 	util      *core.UtilizationMap
 }
 
@@ -260,7 +287,11 @@ func Run(sc Scenario) (*Result, error) {
 	allocName := probe.Name()
 	// Wear-adaptive allocators observe the accumulated wear map, so their
 	// epoch outcomes depend on it and the memo key must include its version.
+	// Shape-aware translation observes wear too (the ladder tie-break and
+	// the translation-cache keying read it), so such scenarios are
+	// wear-adaptive regardless of the allocator.
 	_, wearAware := probe.(alloc.WearSetter)
+	wearAware = wearAware || sc.Engine.ShapeTranslations
 	if sc.Name == "" {
 		sc.Name = fmt.Sprintf("%s/%s", sc.Geom, allocName)
 	}
@@ -295,6 +326,11 @@ func Run(sc Scenario) (*Result, error) {
 	years := 0.0
 	epochs := int(math.Ceil(sc.MaxYears/sc.EpochYears - 1e-9))
 
+	// Search-cost accumulators: every simulated epoch re-runs the hardware
+	// scans, so replayed epochs contribute their memoized counts too.
+	var searchTotal searchcost.Counts
+	var offloadTotal, trCyclesTotal uint64
+
 	for epoch := 0; epoch < epochs; epoch++ {
 		epochLen := sc.EpochYears
 		if years+epochLen > sc.MaxYears {
@@ -312,6 +348,9 @@ func Run(sc Scenario) (*Result, error) {
 			run, last = r, r
 			lastVersion, lastWearVer = health.Version(), wear.Version()
 		}
+		searchTotal.Add(run.search)
+		offloadTotal += run.offloads
+		trCyclesTotal += run.trCycles
 
 		// Age every live cell by the epoch, accelerated by the operating
 		// point in effect; cells crossing end-of-life die mid-epoch at the
@@ -379,6 +418,21 @@ func Run(sc Scenario) (*Result, error) {
 		res.InitialSpeedup = res.Timeline[0].Speedup
 		res.FinalSpeedup = res.Timeline[len(res.Timeline)-1].Speedup
 	}
+	if !searchTotal.Zero() {
+		cost := searchcost.DefaultModel().Assess(searchTotal)
+		total := cost.Total()
+		rep := &SearchReport{
+			Counts:           searchTotal,
+			Cost:             cost,
+			TotalCycles:      total.Cycles,
+			TotalEnergyNJ:    total.EnergyNJ,
+			PerOffloadCycles: total.PerOffload(offloadTotal).Cycles,
+		}
+		if trCyclesTotal > 0 {
+			rep.OverheadFrac = total.Cycles / float64(trCyclesTotal)
+		}
+		res.Search = rep
+	}
 	return res, nil
 }
 
@@ -429,6 +483,7 @@ func runEpoch(sc *Scenario, health *fabric.Health, wear *fabric.Wear) (*epochRun
 		run.trCycles += rep.TotalCycles
 		run.instrs += rep.TotalInstrs
 		run.offloads += rep.Offloads
+		run.search.Add(rep.Search)
 	}
 	run.util = ctrl.Utilization()
 	return run, nil

@@ -322,3 +322,35 @@ func TestEpochMemoKeyCoversRemapState(t *testing.T) {
 		t.Error("remap epoch 1 replayed although wear (and the shape-cache ranking) advanced")
 	}
 }
+
+// TestEpochMemoKeyCoversShapeTranslationState pins the memo-key extension
+// for translation-time shape search: the engine's ladder search observes
+// the wear map (the tie-break) and the translation cache keys on the
+// (health, wear) versions, so a scenario with ShapeTranslations is
+// wear-adaptive even under a wear-blind allocator — while wear accrues,
+// epochs must re-simulate, never replay a stale shape decision from memo.
+func TestEpochMemoKeyCoversShapeTranslationState(t *testing.T) {
+	sc := beScenario(dse.BaselineFactory, 2)
+	sc.Engine.ShapeTranslations = true
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline[0].Offloads == 0 {
+		t.Fatal("shape-translating baseline scenario never offloaded; the memo property is vacuous")
+	}
+	if res.Timeline[1].Replayed {
+		t.Error("shape-translation epoch 1 replayed although wear (and the ladder tie-break's input) advanced")
+	}
+
+	// The same allocator without shape translations is wear-blind: epoch 1
+	// must replay from memo, proving the re-simulation above really keys on
+	// the engine's shape-search state and not on something else.
+	plain, err := Run(beScenario(dse.BaselineFactory, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Timeline[1].Replayed {
+		t.Error("plain baseline epoch 1 re-simulated; health and wear key unchanged")
+	}
+}

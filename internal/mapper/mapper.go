@@ -33,6 +33,12 @@ type Options struct {
 	// end-of-life degradation scenario of the paper's introduction, where
 	// dead FUs progressively limit ILP.
 	Disabled func(cell fabric.Cell) bool
+	// Probes, when non-nil, accumulates the number of FU cell probes
+	// (occupancy + health checks of the greedy row search) the placement
+	// performed. The shape searches pass a counter here so the
+	// searchcost model can price their scans from the work actually done
+	// instead of a worst-case bound.
+	Probes *uint64
 }
 
 // Map places the longest prefix of trace that fits the fabric under the
@@ -350,6 +356,9 @@ rowLoop:
 	for r := 0; r < s.rows; r++ {
 		base := r * s.cols
 		for w := 0; w < width; w++ {
+			if s.opt.Probes != nil {
+				*s.opt.Probes++
+			}
 			if s.occ[base+col+w] {
 				continue rowLoop
 			}

@@ -27,7 +27,9 @@
 // anchor tie-breaks. The search outcome — positive or negative — is
 // memoized in a cfgcache.RemapCache keyed by (StartPC, health version,
 // wear version): deaths change which placements exist, wear advances
-// change which the scoring prefers, and both invalidate wholesale.
+// change which the scoring prefers, and both invalidate wholesale. The
+// scans this costs are counted and priced by the derived hardware-cost
+// model in internal/searchcost.
 package remap
 
 import (
@@ -36,6 +38,7 @@ import (
 	"agingcgra/internal/explore"
 	"agingcgra/internal/fabric"
 	"agingcgra/internal/mapper"
+	"agingcgra/internal/searchcost"
 )
 
 // Remapper is the shape-adaptive allocator. It implements alloc.Allocator
@@ -51,6 +54,9 @@ type Remapper struct {
 	health *fabric.Health
 	wear   *fabric.Wear
 	cache  *cfgcache.RemapCache
+
+	// counts tallies the rescue-search work for the derived cost model.
+	counts searchcost.Counts
 }
 
 // Option configures the Remapper.
@@ -81,6 +87,22 @@ func WithShapes(shapes ...fabric.Geometry) Option {
 	}
 }
 
+// WithLadder selects the shape ladder the rescue search expands (default
+// fabric.DefaultShapeLadder). The same ladder drives the DBT's
+// translation-time shape search (dbt.Options.Ladder); giving both layers
+// one ladder keeps the allocation-time rescue and the translation-time
+// choice searching the same space. A malformed ladder that expands to no
+// shapes is ignored (the default ladder stays in force), mirroring
+// WithShapes — an empty rescue scan would silently degrade the allocator
+// to a plain explorer.
+func WithLadder(l fabric.ShapeLadder) Option {
+	return func(m *Remapper) {
+		if shapes := l.Shapes(m.geom); len(shapes) > 0 {
+			m.shapes = shapes
+		}
+	}
+}
+
 // WithExplorerOptions forwards options to the underlying wear-aware
 // explorer (projection horizon, recompute period, NBTI model).
 func WithExplorerOptions(opts ...explore.Option) Option {
@@ -103,39 +125,13 @@ func New(g fabric.Geometry, opts ...Option) *Remapper {
 	return m
 }
 
-// CandidateShapes returns the deterministic shape ladder the remapper
-// searches for a physical geometry, widest first: the full fabric (a masked
-// re-map at every anchor already flows around most clusters), then
-// half-length and quarter-length rectangles at full and reduced heights
-// down to a single row. Narrower shapes force the greedy mapper to stack
-// ops onto more rows — the "narrower/taller" reshaping — which is what fits
-// a full-length sequence into the live half of a partially dead fabric.
-// Every shape keeps the physical context/configuration line provisioning:
-// the lines span the whole fabric regardless of which sub-rectangle the
-// ops occupy.
+// CandidateShapes returns the default deterministic shape ladder for a
+// physical geometry: fabric.DefaultShapeLadder materialised, widest first.
+// The ladder definition itself lives in internal/fabric so the DBT's
+// translation-time shape search and this allocation-time rescue search
+// share (and sweep) one configurable ladder.
 func CandidateShapes(g fabric.Geometry) []fabric.Geometry {
-	var out []fabric.Geometry
-	seen := make(map[[2]int]bool)
-	add := func(rows, cols int) {
-		if rows < 1 || cols < 1 {
-			return
-		}
-		k := [2]int{rows, cols}
-		if seen[k] {
-			return
-		}
-		seen[k] = true
-		out = append(out, fabric.Geometry{
-			Rows: rows, Cols: cols,
-			CtxLines: g.CtxLines, CfgLines: g.CfgLines,
-		})
-	}
-	for _, cols := range []int{g.Cols, (3 * g.Cols) / 4, g.Cols / 2, g.Cols / 4} {
-		for _, rows := range []int{g.Rows, g.Rows / 2, 1} {
-			add(rows, cols)
-		}
-	}
-	return out
+	return fabric.DefaultShapeLadder().Shapes(g)
 }
 
 // Name implements alloc.Allocator.
@@ -170,6 +166,14 @@ func (m *Remapper) Explorer() *explore.Explorer { return m.ex }
 // RemapStats exposes the shape-search cache counters.
 func (m *Remapper) RemapStats() cfgcache.RemapStats { return m.cache.Stats() }
 
+// SearchCounts implements searchcost.Instrumented: the rescue scans' own
+// work plus the embedded explorer's pivot-scan work.
+func (m *Remapper) SearchCounts() searchcost.Counts {
+	c := m.counts
+	c.Add(m.ex.SearchCounts())
+	return c
+}
+
 // Trace reconstructs the dynamic instruction sequence a configuration was
 // translated from. The mapper places every entry of the consumed prefix (a
 // direct jump becomes a width-0 op), so the configuration's op list in
@@ -191,6 +195,12 @@ func Trace(cfg *fabric.Config) []mapper.TraceEntry {
 // not even the first op fits. A nil health map reshapes on a pristine
 // fabric — the architectural-equivalence property tests use exactly that.
 func Reshape(cfg *fabric.Config, shape fabric.Geometry, anchor fabric.Offset, phys fabric.Geometry, health *fabric.Health, lat fabric.LatencyTable) (*fabric.Config, int) {
+	return reshapeCounted(cfg, shape, anchor, phys, health, lat, nil)
+}
+
+// reshapeCounted is Reshape with an optional mapper probe counter, so the
+// rescue scan's work feeds the derived search-cost model.
+func reshapeCounted(cfg *fabric.Config, shape fabric.Geometry, anchor fabric.Offset, phys fabric.Geometry, health *fabric.Health, lat fabric.LatencyTable, probes *uint64) (*fabric.Config, int) {
 	var disabled func(fabric.Cell) bool
 	if health != nil && health.DeadCount() > 0 {
 		disabled = func(c fabric.Cell) bool {
@@ -201,6 +211,7 @@ func Reshape(cfg *fabric.Config, shape fabric.Geometry, anchor fabric.Offset, ph
 		Geom:     shape,
 		Lat:      lat,
 		Disabled: disabled,
+		Probes:   probes,
 	})
 }
 
@@ -252,6 +263,9 @@ func (m *Remapper) RemapConfig(cfg *fabric.Config, off fabric.Offset, placed boo
 	if placed {
 		// The projection is still fresh from the search pass.
 		full := entry.OK && len(entry.Cfg.Ops) == len(cfg.Ops)
+		if full {
+			m.counts.RemapCells += uint64(len(entry.Cfg.Cells()) + len(cfg.Cells()))
+		}
 		if !full || m.ex.ProjectedScore(entry.Cfg, entry.Off) >= m.ex.ProjectedScore(cfg, off) {
 			entry = cfgcache.RemapEntry{OK: true} // keep the translation
 		}
@@ -277,6 +291,8 @@ func (m *Remapper) search(cfg *fabric.Config) cfgcache.RemapEntry {
 	// projection depends only on the fabric state and the observed duty,
 	// neither of which changes mid-search.
 	m.ex.Reproject()
+	m.counts.RemapScans++
+	m.counts.RemapProjections += uint64(m.geom.NumFUs())
 	var best cfgcache.RemapEntry
 	bestConsumed := 0
 	bestScore := 0.0
@@ -287,7 +303,8 @@ func (m *Remapper) search(cfg *fabric.Config) cfgcache.RemapEntry {
 		for ar := 0; ar < m.geom.Rows; ar++ {
 			for ac := 0; ac < m.geom.Cols; ac++ {
 				anchor := fabric.Offset{Row: ar, Col: ac}
-				mc, consumed := Reshape(cfg, shape, anchor, m.geom, m.health, m.lat)
+				m.counts.RemapCandidates++
+				mc, consumed := reshapeCounted(cfg, shape, anchor, m.geom, m.health, m.lat, &m.counts.RemapProbes)
 				if mc == nil || consumed < minOps || consumed < bestConsumed {
 					continue
 				}
@@ -297,6 +314,7 @@ func (m *Remapper) search(cfg *fabric.Config) cfgcache.RemapEntry {
 				if !m.health.PlacementOK(mc.Cells(), anchor) {
 					continue
 				}
+				m.counts.RemapCells += uint64(len(mc.Cells()))
 				score := m.ex.ProjectedScore(mc, anchor)
 				if consumed > bestConsumed || score < bestScore {
 					best = cfgcache.RemapEntry{Cfg: mc, Off: anchor, OK: true}
@@ -309,9 +327,10 @@ func (m *Remapper) search(cfg *fabric.Config) cfgcache.RemapEntry {
 }
 
 var (
-	_ alloc.Allocator      = (*Remapper)(nil)
-	_ alloc.HealthSetter   = (*Remapper)(nil)
-	_ alloc.WearSetter     = (*Remapper)(nil)
-	_ alloc.StressObserver = (*Remapper)(nil)
-	_ alloc.ConfigRemapper = (*Remapper)(nil)
+	_ alloc.Allocator         = (*Remapper)(nil)
+	_ alloc.HealthSetter      = (*Remapper)(nil)
+	_ alloc.WearSetter        = (*Remapper)(nil)
+	_ alloc.StressObserver    = (*Remapper)(nil)
+	_ alloc.ConfigRemapper    = (*Remapper)(nil)
+	_ searchcost.Instrumented = (*Remapper)(nil)
 )

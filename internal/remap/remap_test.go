@@ -439,3 +439,108 @@ func TestWearTriggerSubstitutesBetterShape(t *testing.T) {
 		t.Errorf("substitute scores %v, not below the translation's %v", s1, s0)
 	}
 }
+
+// TestTraceRoundTripDirectJump pins Trace/Reshape on configurations
+// containing width-0 direct-jump ops: a jal consumes no FU (its link value
+// is a translation-time constant), yet it must survive the trace
+// reconstruction and re-mapping byte-identically — the translation-time
+// shape search feeds every shape decision through exactly this path.
+func TestTraceRoundTripDirectJump(t *testing.T) {
+	g := fabric.NewGeometry(2, 16)
+	trace := []mapper.TraceEntry{
+		alu(0x1000, isa.T0, isa.A0, isa.A1),
+		alu(0x1004, isa.T1, isa.T0, isa.A1),
+		{PC: 0x1008, Inst: isa.Inst{Op: isa.JAL, Rd: isa.RA, Imm: 16}, Taken: true},
+		alu(0x1018, isa.T2, isa.T1, isa.RA),
+		alu(0x101c, isa.T0, isa.T2, isa.A0),
+	}
+	cfg := mapHealthy(t, trace, g)
+
+	// The jump is in the op list with zero width and occupies no cell.
+	jumps := 0
+	for _, op := range cfg.Ops {
+		if op.Inst.Op == isa.JAL {
+			jumps++
+			if op.Width != 0 {
+				t.Fatalf("direct jump placed with width %d", op.Width)
+			}
+		}
+	}
+	if jumps != 1 {
+		t.Fatalf("%d jumps placed, want 1", jumps)
+	}
+
+	// Trace reconstruction carries the jump (PC, instruction, direction).
+	rebuilt := Trace(cfg)
+	for i, e := range trace {
+		if rebuilt[i].PC != e.PC || rebuilt[i].Inst != e.Inst || rebuilt[i].Taken != e.Taken {
+			t.Fatalf("rebuilt trace entry %d = %+v, want %+v", i, rebuilt[i], e)
+		}
+	}
+
+	// Re-mapping at the original shape reproduces the placement exactly,
+	// and every ladder shape holding the full sequence replays identically.
+	mc, n := Reshape(cfg, g, fabric.Offset{}, g, nil, fabric.DefaultLatencies())
+	if mc == nil || n != len(cfg.Ops) {
+		t.Fatalf("round-trip consumed %d/%d", n, len(cfg.Ops))
+	}
+	if !reflect.DeepEqual(cfg.Ops, mc.Ops) {
+		t.Errorf("round-trip placement diverges:\n%+v\n%+v", cfg.Ops, mc.Ops)
+	}
+	opcs, odirs := cfg.ReplayTables()
+	for _, shape := range CandidateShapes(g) {
+		sc, n := Reshape(cfg, shape, fabric.Offset{}, g, nil, fabric.DefaultLatencies())
+		if sc == nil || n < len(cfg.Ops) {
+			continue
+		}
+		spcs, sdirs := sc.ReplayTables()
+		if !reflect.DeepEqual(opcs, spcs) || !reflect.DeepEqual(odirs, sdirs) {
+			t.Errorf("shape %v: replay tables diverge on the jump-bearing sequence", shape)
+		}
+	}
+}
+
+// TestReshapeWrapAroundAnchor pins Reshape at anchors where the placement
+// spans the physical column seam: the anchor-frame health mask must wrap
+// exactly like the placement does, the remapped prefix must replay the
+// original sequence byte-identically, and every occupied cell must land
+// live under the wrapped anchor.
+func TestReshapeWrapAroundAnchor(t *testing.T) {
+	g := fabric.NewGeometry(2, 16)
+	cfg := mapHealthy(t, independentALUs(12), g)
+	// Dead cells in physical columns 2 and 3: a 2x8 shape anchored at
+	// column 12 wraps onto physical columns 12..15,0..3, so the mask seen
+	// in the anchor frame has its holes at virtual columns 6 and 7 —
+	// beyond the seam.
+	h, err := fabric.NewHealthWithDead(g, fabric.DeadColumnsCells(g, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := fabric.Geometry{Rows: 2, Cols: 8, CtxLines: g.CtxLines, CfgLines: g.CfgLines}
+	anchor := fabric.Offset{Row: 1, Col: 12} // wraps rows and columns
+	mc, consumed := Reshape(cfg, shape, anchor, g, h, fabric.DefaultLatencies())
+	if mc == nil {
+		t.Fatal("no placement across the seam although 12 live cells fit the window")
+	}
+	if consumed != len(cfg.Ops) {
+		t.Fatalf("consumed %d/%d ops; the wrapped window holds 12 live cells", consumed, len(cfg.Ops))
+	}
+	for _, cell := range mc.Cells() {
+		p := anchor.Apply(cell, g)
+		if h.Dead(p) {
+			t.Errorf("virtual cell %v lands on dead physical cell %v across the seam", cell, p)
+		}
+		if cell.Col >= 6 && cell.Col < 8 && cell.Row >= 0 {
+			// Virtual columns 6-7 are the masked (dead) window columns.
+			t.Errorf("virtual cell %v occupies a masked column of the anchor frame", cell)
+		}
+	}
+	opcs, odirs := cfg.ReplayTables()
+	mpcs, mdirs := mc.ReplayTables()
+	if !reflect.DeepEqual(opcs[:len(mpcs)], mpcs) || !reflect.DeepEqual(odirs[:len(mdirs)], mdirs) {
+		t.Errorf("wrapped remap's replay tables diverge from the original prefix")
+	}
+	if err := mc.Validate(); err != nil {
+		t.Errorf("wrapped remap invalid: %v", err)
+	}
+}

@@ -139,6 +139,42 @@ func UtilizationPDF(title string, duty []float64, bins int) string {
 	return b.String()
 }
 
+// SearchCostRow is one scenario's derived search-overhead summary for
+// SearchCostTable: cycles per search family, the per-offload amortisation
+// and the overhead fraction against the simulated execution cycles.
+type SearchCostRow struct {
+	Name              string
+	ExplorerCycles    float64
+	RemapCycles       float64
+	TranslationCycles float64
+	TotalCycles       float64
+	EnergyNJ          float64
+	PerOffloadCycles  float64
+	OverheadFrac      float64
+}
+
+// SearchCostTable renders the derived hardware cost of the placement and
+// shape searches — the numbers replacing the "asserted cheap" hold-period
+// story — as an aligned table, one row per scenario.
+func SearchCostTable(rows []SearchCostRow) string {
+	t := &Table{Header: []string{
+		"scenario", "explorer", "remap", "translation", "total", "energy", "per-offload", "overhead",
+	}}
+	for _, r := range rows {
+		t.AddRow(
+			r.Name,
+			fmt.Sprintf("%.3gcy", r.ExplorerCycles),
+			fmt.Sprintf("%.3gcy", r.RemapCycles),
+			fmt.Sprintf("%.3gcy", r.TranslationCycles),
+			fmt.Sprintf("%.3gcy", r.TotalCycles),
+			fmt.Sprintf("%.3guJ", r.EnergyNJ/1e3),
+			fmt.Sprintf("%.2fcy", r.PerOffloadCycles),
+			fmt.Sprintf("%.2f%%", 100*r.OverheadFrac),
+		)
+	}
+	return t.String()
+}
+
 // Sparkline renders values as a compact unicode bar string, used in
 // delay-over-time summaries.
 func Sparkline(xs []float64) string {

@@ -120,53 +120,116 @@ func TestExplorerThreeWayLifetime(t *testing.T) {
 	}
 }
 
-// TestRemapOutlivesExplorerOnDeadColumns pins the shape-adaptive remap
-// headline on the BE design: with a dead column pair injected before the
-// first epoch and stale translations (configurations mapped for the
-// pristine fabric, as a real DBT's translation memory would be), the
-// translation-only explorer loses the hot kernel configurations to the GPP
-// — no pivot of a full-length healthy rectangle avoids the columns — while
-// the remap allocator re-maps them to shapes that flow around the cluster.
-// The remap scenario must therefore offload strictly more and accelerate
-// strictly more in the first epoch, and — because its wear trigger only
-// ever substitutes placements projecting less worst-cell wear — reach its
-// first, second and third FU death no earlier than the explorer.
-func TestRemapOutlivesExplorerOnDeadColumns(t *testing.T) {
-	mk := func(allocator string) LifetimeConfig {
+// TestShapeSearchOnDeadColumns pins the dead-column BE headline across the
+// three rescue mechanisms — translation-only (stale), allocation-time
+// remap (stale), and translation-time shape search — as a four-scenario
+// batch, serial==parallel byte-identical.
+//
+// Throughput: with stale translations the explorer loses the hot kernel
+// configurations to the GPP (no pivot of a full-length healthy rectangle
+// avoids the columns); the remap allocator rescues them at allocation time
+// (PR 4's pin), and — the tentpole — translation-time shape search keeps
+// them on-fabric with a *plain explorer*, no remap layer needed: fresh
+// translations are born shape- and health-aware.
+//
+// Lifetime: within the shape-aware regime the remap allocator's wear
+// trigger only ever substitutes placements projecting less worst-cell
+// wear, so remap+shapes reaches its first/second/third FU death no earlier
+// than explore+shapes. (The work-shedding explorer+stale scenario is no
+// longer a lifetime yardstick for the kernel-carrying regimes: since the
+// explorer hold-period fix, its fabric simply carries less relative duty —
+// the old "remap outlives stale explore" pin was an artifact of the
+// per-proposal hold-period counting. See ROADMAP.)
+func TestShapeSearchOnDeadColumns(t *testing.T) {
+	mk := func(allocator string, stale, shaped bool) LifetimeConfig {
 		return LifetimeConfig{
 			Allocator:         allocator,
 			Benchmarks:        []string{"crc32"},
 			EpochYears:        0.25,
 			MaxYears:          12,
 			DeadPattern:       "columns:0+8",
-			StaleTranslations: true,
+			StaleTranslations: stale,
+			ShapeTranslations: shaped,
 		}
 	}
-	results, err := RunLifetimes([]LifetimeConfig{mk("explore"), mk("remap")}, 1)
+	configs := []LifetimeConfig{
+		mk("explore", true, false), // translation-only, stale memory
+		mk("remap", true, false),   // allocation-time rescue
+		mk("explore", false, true), // translation-time shape search alone
+		mk("remap", false, true),   // shape search + allocation-time rescue
+	}
+	serial, err := RunLifetimes(configs, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	explored, remapped := results[0], results[1]
-
-	// The kernel stays on-fabric under remap where the explorer fell back.
-	if remapped.Timeline[0].Offloads <= explored.Timeline[0].Offloads {
-		t.Errorf("remap offloads %d not above explorer's %d under the dead columns",
-			remapped.Timeline[0].Offloads, explored.Timeline[0].Offloads)
+	parallel, err := RunLifetimes(configs, 4)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if remapped.InitialSpeedup <= explored.InitialSpeedup {
-		t.Errorf("remap speedup %v not above explorer's %v under the dead columns",
-			remapped.InitialSpeedup, explored.InitialSpeedup)
+	sj, err := json.MarshalIndent(serial, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.MarshalIndent(parallel, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatal("serial and parallel four-way timelines differ")
 	}
 
-	// And lives at least as long: the wear trigger never accepts a
-	// placement projecting more worst-cell wear than translation alone.
+	exploreStale, remapStale := serial[0], serial[1]
+	exploreShaped, remapShaped := serial[2], serial[3]
+
+	// Allocation-time rescue keeps the kernel on-fabric (PR 4's pin).
+	if remapStale.Timeline[0].Offloads <= exploreStale.Timeline[0].Offloads {
+		t.Errorf("remap offloads %d not above stale explorer's %d under the dead columns",
+			remapStale.Timeline[0].Offloads, exploreStale.Timeline[0].Offloads)
+	}
+	if remapStale.InitialSpeedup <= exploreStale.InitialSpeedup {
+		t.Errorf("remap speedup %v not above stale explorer's %v under the dead columns",
+			remapStale.InitialSpeedup, exploreStale.InitialSpeedup)
+	}
+
+	// The tentpole: shape-aware translation rescues the kernel without any
+	// allocation-time remapping — a plain explorer out-accelerates its
+	// stale self.
+	if exploreShaped.Timeline[0].Offloads <= exploreStale.Timeline[0].Offloads {
+		t.Errorf("shape-translating explorer offloads %d not above its stale self's %d",
+			exploreShaped.Timeline[0].Offloads, exploreStale.Timeline[0].Offloads)
+	}
+	if exploreShaped.InitialSpeedup <= exploreStale.InitialSpeedup {
+		t.Errorf("shape-translating explorer speedup %v not above its stale self's %v",
+			exploreShaped.InitialSpeedup, exploreStale.InitialSpeedup)
+	}
+
+	// Within the shape-aware regime the wear trigger's superset property
+	// still orders the death ages: remap+shapes >= explore+shapes.
 	for n := 1; n <= 3; n++ {
-		ed, rd := explored.NthDeathYears(n), remapped.NthDeathYears(n)
+		ed, rd := exploreShaped.NthDeathYears(n), remapShaped.NthDeathYears(n)
 		if ed == 0 || rd == 0 {
-			t.Fatalf("death #%d missing within the horizon: explorer %v, remap %v", n, ed, rd)
+			t.Fatalf("death #%d missing within the horizon: explore+shapes %v, remap+shapes %v", n, ed, rd)
 		}
 		if rd < ed {
-			t.Errorf("remap death #%d at %v years, earlier than explorer's %v", n, rd, ed)
+			t.Errorf("remap+shapes death #%d at %v years, earlier than explore+shapes' %v", n, rd, ed)
 		}
+	}
+
+	// The derived search-cost model reports every searching scenario, and
+	// the translation ladder scans only appear in the shape-aware regime.
+	for _, r := range serial {
+		if r.Search == nil {
+			t.Fatalf("%s: no search-cost report", r.Name)
+		}
+	}
+	if exploreStale.Search.Counts.LadderScans != 0 {
+		t.Errorf("stale explorer counted %d ladder scans; translation-time search should be off",
+			exploreStale.Search.Counts.LadderScans)
+	}
+	if exploreShaped.Search.Counts.LadderScans == 0 || exploreShaped.Search.Cost.Translation.Cycles == 0 {
+		t.Error("shape-translating explorer's ladder scans uncounted")
+	}
+	if remapStale.Search.Counts.RemapScans == 0 {
+		t.Error("stale remap's rescue scans uncounted")
 	}
 }
