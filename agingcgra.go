@@ -31,6 +31,7 @@ import (
 	"agingcgra/internal/isa"
 	"agingcgra/internal/lifetime"
 	"agingcgra/internal/prog"
+	recov "agingcgra/internal/recover"
 	"agingcgra/internal/remap"
 )
 
@@ -229,6 +230,12 @@ type (
 	LifetimeResult = lifetime.Result
 	// LifetimeRecord is one epoch of a lifetime timeline.
 	LifetimeRecord = lifetime.EpochRecord
+	// FaultModel maps consumed lifetime to intermittent-fault probability.
+	FaultModel = lifetime.FaultModel
+	// RecoveryPolicy is the detection/quarantine/recovery knob set.
+	RecoveryPolicy = recov.Policy
+	// RecoveryReport summarises a recovery-enabled lifetime run.
+	RecoveryReport = lifetime.RecoveryReport
 )
 
 // LifetimeConfig describes one lifetime scenario with the allocator chosen
@@ -276,6 +283,17 @@ type LifetimeConfig struct {
 	// "columns", "rows", "fine"; empty: halving) shared by the
 	// translation-time search and the remap allocator's rescue scan.
 	ShapeLadder string
+	// Seed seeds the scenario's deterministic fault-injection PRNG
+	// (default 1; an explicit zero also selects the default).
+	Seed uint64
+	// Faults enables wear-dependent intermittent fault injection; requires
+	// Recovery, since injecting faults with no detection layer would
+	// corrupt results invisibly.
+	Faults *FaultModel
+	// Recovery enables the detection/quarantine/recovery layer: placement
+	// consumes the runtime's observed health map instead of the oracle, and
+	// the result carries a RecoveryReport.
+	Recovery *RecoveryPolicy
 }
 
 // lifetimeRefs memoizes the stand-alone GPP reference runs across every
@@ -360,6 +378,9 @@ func (c LifetimeConfig) scenario() (lifetime.Scenario, error) {
 		Cond:        cond,
 		InitialDead: dead,
 		Refs:        lifetimeRefs,
+		Seed:        c.Seed,
+		FaultModel:  c.Faults,
+		Recovery:    c.Recovery,
 	}
 	sc.Engine.StaleTranslations = c.StaleTranslations
 	sc.Engine.ShapeTranslations = c.ShapeTranslations

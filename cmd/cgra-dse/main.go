@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,25 +23,39 @@ import (
 )
 
 func main() {
-	sizeName := flag.String("size", "small", "input size: tiny, small, large")
-	csvPath := flag.String("csv", "", "also write the points as CSV to this file")
-	workers := flag.Int("workers", 0, "parallel design points (0 = all CPUs, 1 = serial)")
-	allocator := flag.String("allocator", "baseline",
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cgra-dse:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flag parsing, sweep selection and
+// execution, with unknown allocator/ladder/pattern/size names surfaced as
+// errors instead of panics.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cgra-dse", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sizeName := fs.String("size", "small", "input size: tiny, small, large")
+	csvPath := fs.String("csv", "", "also write the points as CSV to this file")
+	workers := fs.Int("workers", 0, "parallel design points (0 = all CPUs, 1 = serial)")
+	allocator := fs.String("allocator", "baseline",
 		"allocation strategy to sweep with (baseline, utilization-aware, explore, remap, ...)")
-	explorerSweep := flag.Bool("explorer-sweep", false,
+	explorerSweep := fs.Bool("explorer-sweep", false,
 		"run the explorer's own DSE instead of Fig. 6: (projection horizon x recompute period) across clustered-failure scenarios")
-	shapeSweep := flag.Bool("shape-sweep", false,
+	shapeSweep := fs.Bool("shape-sweep", false,
 		"run the shape-ladder DSE instead of Fig. 6: candidate ladder variants x failure scenarios under translation-time shape search")
-	horizons := flag.String("horizons", "", "explorer-sweep projection horizons in years, comma-separated (default 0.25,1,4)")
-	periods := flag.String("periods", "", "explorer-sweep recompute periods, comma-separated (default 4,16,64)")
-	ladders := flag.String("ladders", "", "shape-sweep ladder variants, comma-separated (default all: halving,full-only,columns,rows,fine)")
-	failures := flag.String("failures", "", "sweep failure patterns, comma-separated (explorer default healthy,column,quadrant; shape default healthy,column,columns:0+8)")
-	years := flag.Float64("years", 20, "sweep simulated horizon in years")
-	flag.Parse()
+	horizons := fs.String("horizons", "", "explorer-sweep projection horizons in years, comma-separated (default 0.25,1,4)")
+	periods := fs.String("periods", "", "explorer-sweep recompute periods, comma-separated (default 4,16,64)")
+	ladders := fs.String("ladders", "", "shape-sweep ladder variants, comma-separated (default all: halving,full-only,columns,rows,fine)")
+	failures := fs.String("failures", "", "sweep failure patterns, comma-separated (explorer default healthy,column,quadrant; shape default healthy,column,columns:0+8)")
+	years := fs.Float64("years", 20, "sweep simulated horizon in years")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	size, err := parseSize(*sizeName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *shapeSweep {
@@ -57,13 +72,13 @@ func main() {
 		}
 		res, err := agingcgra.ShapeSweep(opt)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(res.Render())
+		fmt.Fprint(stdout, res.Render())
 		if *csvPath != "" {
-			writeCSV(*csvPath, res.CSVHeader(), res.CSVRows())
+			return writeCSV(stdout, *csvPath, res.CSVHeader(), res.CSVRows())
 		}
-		return
+		return nil
 	}
 	if *explorerSweep {
 		opt := agingcgra.ExplorerSweepOptions{
@@ -73,12 +88,12 @@ func main() {
 		}
 		if *horizons != "" {
 			if opt.Horizons, err = parseFloats(*horizons); err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		if *periods != "" {
 			if opt.Periods, err = parseInts(*periods); err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		if *failures != "" {
@@ -86,21 +101,21 @@ func main() {
 		}
 		res, err := agingcgra.ExplorerSweep(opt)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(res.Render())
+		fmt.Fprint(stdout, res.Render())
 		if *csvPath != "" {
-			writeCSV(*csvPath, res.CSVHeader(), res.CSVRows())
+			return writeCSV(stdout, *csvPath, res.CSVHeader(), res.CSVRows())
 		}
-		return
+		return nil
 	}
 	res, err := agingcgra.Fig6(agingcgra.ExperimentOptions{
 		Size: size, Workers: *workers, Allocator: *allocator,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Print(res.Render())
+	fmt.Fprint(stdout, res.Render())
 
 	if *csvPath != "" {
 		rows := make([][]string, 0, len(res.Points))
@@ -114,8 +129,9 @@ func main() {
 				fmt.Sprintf("%.6f", p.AvgUtil),
 			})
 		}
-		writeCSV(*csvPath, []string{"design", "rows", "cols", "rel_time", "rel_energy", "avg_util"}, rows)
+		return writeCSV(stdout, *csvPath, []string{"design", "rows", "cols", "rel_time", "rel_energy", "avg_util"}, rows)
 	}
+	return nil
 }
 
 func splitList(s string) []string {
@@ -126,16 +142,17 @@ func splitList(s string) []string {
 	return out
 }
 
-func writeCSV(path string, header []string, rows [][]string) {
+func writeCSV(stdout io.Writer, path string, header []string, rows [][]string) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	if err := report.WriteCSV(f, header, rows); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
 }
 
 func parseFloats(s string) ([]float64, error) {
@@ -172,9 +189,4 @@ func parseSize(s string) (agingcgra.Size, error) {
 		return agingcgra.Large, nil
 	}
 	return 0, fmt.Errorf("unknown size %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cgra-dse:", err)
-	os.Exit(1)
 }

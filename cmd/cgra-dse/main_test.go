@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunRejectsUnknownNames pins the CLI's error path: unknown allocator,
+// size, ladder and failure-pattern names must fail with a descriptive error
+// (the process exits non-zero), not panic mid-sweep.
+func TestRunRejectsUnknownNames(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"allocator", []string{"-allocator", "nonsense"}, "unknown allocator"},
+		{"size", []string{"-size", "jumbo"}, "unknown size"},
+		{"ladder", []string{"-shape-sweep", "-ladders", "bogus", "-years", "1"}, "unknown shape ladder"},
+		{"failure", []string{"-explorer-sweep", "-failures", "mystery", "-years", "1"}, "unknown failure pattern"},
+		{"bad horizon", []string{"-explorer-sweep", "-horizons", "abc"}, "bad float"},
+		{"bad period", []string{"-explorer-sweep", "-periods", "x"}, "bad integer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("args %v: expected an error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

@@ -15,12 +15,15 @@
 //	    -bench crc32,sha -epoch 0.25 -o lifetime.json
 //	cgra-lifetime -dead survivor-row:1 -stale-translations \
 //	    -allocators explore,remap          # clustered failure: remap vs explorer
+//	cgra-lifetime -faults -recovery -check-every 1 \
+//	    -allocators baseline,explore       # no oracle: detect/quarantine/recover
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -37,35 +40,78 @@ type Output struct {
 }
 
 func main() {
-	rows := flag.Int("rows", 2, "fabric rows W")
-	cols := flag.Int("cols", 16, "fabric columns L")
-	allocators := flag.String("allocators", "baseline,utilization-aware,explore,remap",
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cgra-lifetime:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flag parsing, scenario validation and
+// execution, with all failures (unknown allocator, pattern, ladder, size)
+// surfaced as errors instead of panics.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cgra-lifetime", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rows := fs.Int("rows", 2, "fabric rows W")
+	cols := fs.Int("cols", 16, "fabric columns L")
+	allocators := fs.String("allocators", "baseline,utilization-aware,explore,remap",
 		"comma-separated allocation strategies to compare")
-	dead := flag.String("dead", "",
+	dead := fs.String("dead", "",
 		"clustered-failure pattern injected before the first epoch: column[:c], columns:c1+c2, quadrant, checkerboard[:p], survivor-row[:r]")
-	stale := flag.Bool("stale-translations", false,
+	stale := fs.Bool("stale-translations", false,
 		"translate for the pristine fabric (configs predate the failures); placement still respects health")
-	shaped := flag.Bool("shape-translations", false,
+	shaped := fs.Bool("shape-translations", false,
 		"translation-time shape search: map each hot trace over the candidate shape ladder against current health/wear")
-	ladder := flag.String("ladder", "",
+	ladder := fs.String("ladder", "",
 		"candidate shape ladder for the shape searches: halving (default), full-only, columns, rows, fine")
-	bench := flag.String("bench", "", "comma-separated workload mix (default: full suite)")
-	sizeName := flag.String("size", "tiny", "workload size: tiny, small, large")
-	epoch := flag.Float64("epoch", 0.5, "epoch length in years")
-	years := flag.Float64("years", 15, "simulated horizon in years")
-	temp := flag.Float64("temp", 0, "junction temperature in kelvin (0: model default)")
-	vdd := flag.Float64("vdd", 0, "supply voltage in volts (0: model default)")
-	workers := flag.Int("workers", 0, "scenario parallelism (0: all CPUs, 1: serial)")
-	out := flag.String("o", "-", "JSON output path ('-' for stdout)")
-	flag.Parse()
+	bench := fs.String("bench", "", "comma-separated workload mix (default: full suite)")
+	sizeName := fs.String("size", "tiny", "workload size: tiny, small, large")
+	epoch := fs.Float64("epoch", 0.5, "epoch length in years")
+	years := fs.Float64("years", 15, "simulated horizon in years")
+	temp := fs.Float64("temp", 0, "junction temperature in kelvin (0: model default)")
+	vdd := fs.Float64("vdd", 0, "supply voltage in volts (0: model default)")
+	seed := fs.Uint64("seed", 0, "fault-injection PRNG seed (0: default 1)")
+	faults := fs.Bool("faults", false,
+		"inject wear-dependent intermittent faults once consumed lifetime crosses -fault-at (requires -recovery)")
+	faultAt := fs.Float64("fault-at", 0,
+		"consumed-lifetime fraction at which intermittent faults start (0: default 0.6)")
+	faultProb := fs.Float64("fault-prob", 0,
+		"per-execution fault probability reached just before hard death (0: default 0.02)")
+	recovery := fs.Bool("recovery", false,
+		"replace the health oracle with the detection/quarantine/recovery layer: placement consumes the runtime's observed health map")
+	checkEvery := fs.Int("check-every", 0, "verify every k-th offload against the GPP reference (0: default 4; 1: every offload)")
+	retries := fs.Int("retries", 0, "on-fabric retries after a detected fault before GPP backoff (0: default 2)")
+	quarantineAfter := fs.Int("quarantine-after", 0, "detected faults per cell before quarantine (0: default 3)")
+	probation := fs.Int("probation", 0, "consecutive clean probes to reinstate a quarantined cell (0: default 8)")
+	failStop := fs.Bool("fail-stop", false,
+		"no-recovery baseline: first detected fault routes every later offload to the GPP forever")
+	workers := fs.Int("workers", 0, "scenario parallelism (0: all CPUs, 1: serial)")
+	out := fs.String("o", "-", "JSON output path ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	size, err := parseSize(*sizeName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var mix []string
 	if *bench != "" {
 		mix = strings.Split(*bench, ",")
+	}
+	var fm *agingcgra.FaultModel
+	if *faults {
+		fm = &agingcgra.FaultModel{IntermittentAt: *faultAt, MaxProb: *faultProb}
+	}
+	var rp *agingcgra.RecoveryPolicy
+	if *recovery || *faults || *failStop {
+		rp = &agingcgra.RecoveryPolicy{
+			CheckEvery:      *checkEvery,
+			MaxRetries:      *retries,
+			QuarantineAfter: *quarantineAfter,
+			ProbationProbes: *probation,
+			FailStop:        *failStop,
+		}
 	}
 
 	var configs []agingcgra.LifetimeConfig
@@ -84,15 +130,18 @@ func main() {
 			StaleTranslations: *stale,
 			ShapeTranslations: *shaped,
 			ShapeLadder:       *ladder,
+			Seed:              *seed,
+			Faults:            fm,
+			Recovery:          rp,
 		})
 	}
 
 	results, err := agingcgra.RunLifetimes(configs, *workers)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	printSummary(results)
+	printSummary(stderr, results)
 
 	blob, err := json.MarshalIndent(Output{
 		Schema:    "agingcgra-lifetime/v1",
@@ -100,23 +149,24 @@ func main() {
 		Scenarios: results,
 	}, "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *out == "-" {
-		fmt.Println(string(blob))
+		fmt.Fprintln(stdout, string(blob))
 	} else {
 		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		fmt.Fprintf(stderr, "wrote %s\n", *out)
 	}
+	return nil
 }
 
-func printSummary(results []*agingcgra.LifetimeResult) {
-	fmt.Fprintf(os.Stderr, "%-42s %10s %10s %10s %8s %8s %10s %10s\n",
+func printSummary(w io.Writer, results []*agingcgra.LifetimeResult) {
+	fmt.Fprintf(w, "%-42s %10s %10s %10s %8s %8s %10s %10s\n",
 		"scenario", "1st death", "2nd death", "3rd death", "deaths", "alive", "speedup@0", "speedup@end")
 	for _, r := range results {
-		fmt.Fprintf(os.Stderr, "%-42s %10s %10s %10s %8d %7.0f%% %10.2f %10.2f\n",
+		fmt.Fprintf(w, "%-42s %10s %10s %10s %8d %7.0f%% %10.2f %10.2f\n",
 			r.Name, deathAge(r, 1), deathAge(r, 2), deathAge(r, 3),
 			r.TotalDeaths, 100*r.AliveFraction,
 			r.InitialSpeedup, r.FinalSpeedup)
@@ -130,7 +180,7 @@ func printSummary(results []*agingcgra.LifetimeResult) {
 		var longest, shortest *agingcgra.LifetimeResult
 		for _, r := range results {
 			if r.NthDeathYears(n) == 0 {
-				fmt.Fprintf(os.Stderr, "%s reaches the horizon without death #%d (outlives all)\n",
+				fmt.Fprintf(w, "%s reaches the horizon without death #%d (outlives all)\n",
 					r.AllocatorName, n)
 				longest, shortest = nil, nil
 				break
@@ -143,18 +193,19 @@ func printSummary(results []*agingcgra.LifetimeResult) {
 			}
 		}
 		if longest != nil && shortest != nil && longest != shortest {
-			fmt.Fprintf(os.Stderr, "%s outlives %s to death #%d by %.2fx\n",
+			fmt.Fprintf(w, "%s outlives %s to death #%d by %.2fx\n",
 				longest.AllocatorName, shortest.AllocatorName, n,
 				longest.NthDeathYears(n)/shortest.NthDeathYears(n))
 		}
 	}
-	printSearchCost(results)
+	printSearchCost(w, results)
+	printRecovery(w, results)
 }
 
 // printSearchCost renders the derived hardware cost of each scenario's
-// placement/shape searches: the searchcost model's replacement for the
-// "asserted cheap" hold-period story.
-func printSearchCost(results []*agingcgra.LifetimeResult) {
+// placement/shape searches and recovery-layer verification: the searchcost
+// model's replacement for the "asserted cheap" hold-period story.
+func printSearchCost(w io.Writer, results []*agingcgra.LifetimeResult) {
 	var rows []report.SearchCostRow
 	for _, r := range results {
 		if r.Search == nil {
@@ -165,6 +216,7 @@ func printSearchCost(results []*agingcgra.LifetimeResult) {
 			ExplorerCycles:    r.Search.Cost.Explorer.Cycles,
 			RemapCycles:       r.Search.Cost.Remap.Cycles,
 			TranslationCycles: r.Search.Cost.Translation.Cycles,
+			RecoveryCycles:    r.Search.Cost.Recovery.Cycles,
 			TotalCycles:       r.Search.TotalCycles,
 			EnergyNJ:          r.Search.TotalEnergyNJ,
 			PerOffloadCycles:  r.Search.PerOffloadCycles,
@@ -174,8 +226,41 @@ func printSearchCost(results []*agingcgra.LifetimeResult) {
 	if len(rows) == 0 {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "\nderived search cost (explorer pivot scans, remap rescue scans, translation ladder scans):\n%s",
+	fmt.Fprintf(w, "\nderived search cost (explorer pivot scans, remap rescue scans, translation ladder scans, recovery checks):\n%s",
 		report.SearchCostTable(rows))
+}
+
+// printRecovery renders the fault-detection/recovery summary of every
+// recovery-enabled scenario: the runtime's measured view against ground
+// truth.
+func printRecovery(w io.Writer, results []*agingcgra.LifetimeResult) {
+	var rows []report.RecoveryRow
+	for _, r := range results {
+		rec := r.Recovery
+		if rec == nil {
+			continue
+		}
+		rows = append(rows, report.RecoveryRow{
+			Name:               r.Name,
+			Faulted:            rec.Stats.FaultedExecs,
+			Detected:           rec.Stats.DetectedFaults,
+			Escapes:            rec.Stats.SilentEscapes,
+			Retries:            rec.Stats.Retries,
+			Backoffs:           rec.Stats.GPPBackoffs,
+			Quarantines:        rec.Stats.Quarantines,
+			Reinstated:         rec.Stats.Reinstatements,
+			TrueDead:           rec.TrueDead,
+			ObservedDead:       rec.ObservedDead,
+			FalseNegatives:     rec.FalseNegatives,
+			FalsePositivesOpen: rec.FalsePositivesOpen,
+			MeanLatencyYears:   rec.MeanDetectionLatencyYears,
+		})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nfault detection & recovery (observed vs ground truth):\n%s",
+		report.RecoveryTable(rows))
 }
 
 func deathAge(r *agingcgra.LifetimeResult, n int) string {
@@ -195,9 +280,4 @@ func parseSize(s string) (agingcgra.Size, error) {
 		return agingcgra.Large, nil
 	}
 	return 0, fmt.Errorf("unknown size %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cgra-lifetime:", err)
-	os.Exit(1)
 }

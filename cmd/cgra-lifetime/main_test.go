@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunRejectsUnknownNames pins the CLI's error path: unknown allocator,
+// pattern, ladder and size names must fail with a descriptive error (the
+// process exits non-zero), not panic mid-batch.
+func TestRunRejectsUnknownNames(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"allocator", []string{"-allocators", "nonsense", "-years", "1"}, "unknown allocator"},
+		{"pattern", []string{"-dead", "mystery-pattern", "-years", "1"}, "unknown failure pattern"},
+		{"ladder", []string{"-shape-translations", "-ladder", "bogus", "-years", "1"}, "unknown shape ladder"},
+		{"size", []string{"-size", "jumbo", "-years", "1"}, "unknown size"},
+		{"faults without recovery knobs still validates", []string{"-faults", "-fault-at", "1.5", "-years", "1"}, "IntermittentAt"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("args %v: expected an error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunFaultRecoverySummary runs a tiny fault-enabled comparison end to
+// end and checks the recovery table reaches the summary output.
+func TestRunFaultRecoverySummary(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-allocators", "baseline",
+		"-bench", "crc32",
+		"-years", "6",
+		"-faults", "-fault-at", "0.4", "-fault-prob", "0.05",
+		"-recovery", "-check-every", "1",
+		"-workers", "1",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "fault detection & recovery") {
+		t.Error("summary should include the recovery table")
+	}
+	if !strings.Contains(stdout.String(), "\"recovery\"") {
+		t.Error("JSON output should carry the recovery report")
+	}
+}

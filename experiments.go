@@ -466,12 +466,16 @@ func Flatness(s *SuiteResult) FlatnessMetrics {
 }
 
 // SuiteOnce runs the suite for an arbitrary geometry/allocator pair; the
-// ablation benches build on it.
+// ablation benches build on it. The allocator name is validated up front so
+// an unknown name fails with an error instead of panicking mid-sweep.
 func SuiteOnce(g Geometry, allocator string, opt ExperimentOptions) (*SuiteResult, error) {
+	if _, err := NewAllocator(allocator, g); err != nil {
+		return nil, err
+	}
 	factory := func(gg fabric.Geometry) (a Allocator) {
 		a, err := NewAllocator(allocator, gg)
 		if err != nil {
-			panic(err) // validated by callers via NewAllocator
+			panic(err) // validated above; geometry-dependent failure only
 		}
 		return a
 	}

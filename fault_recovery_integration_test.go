@@ -1,0 +1,117 @@
+package agingcgra
+
+import "testing"
+
+// faultCfg is the shared BE/crc32 recovery scenario: an accelerated fault
+// ramp so intermittent faults (and hard deaths) land well inside the
+// horizon, with the oracle hidden — placement consumes the runtime's
+// observed health map only.
+func faultCfg() LifetimeConfig {
+	return LifetimeConfig{
+		Allocator:  "baseline",
+		Benchmarks: []string{"crc32"},
+		EpochYears: 0.5,
+		MaxYears:   8,
+		Seed:       7,
+		Faults:     &FaultModel{IntermittentAt: 0.4, MaxProb: 0.05},
+		Recovery:   &RecoveryPolicy{CheckEvery: 1},
+	}
+}
+
+// TestFaultRecoveryIntegration pins the PR 6 recovery story end to end on
+// the BE design: with every offload verified (CheckEvery=1) no corruption
+// escapes silently, faults are actually injected and detected, and
+// probation recovers quarantined false positives within the horizon.
+func TestFaultRecoveryIntegration(t *testing.T) {
+	res, err := RunLifetime(faultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Recovery
+	if rec == nil {
+		t.Fatal("recovery-enabled run must carry a RecoveryReport")
+	}
+	st := rec.Stats
+	if st.FaultedExecs == 0 {
+		t.Fatal("scenario injected no faults; the story is vacuous")
+	}
+	if st.DetectedFaults == 0 {
+		t.Error("checker detected nothing despite faults")
+	}
+	if st.SilentEscapes != 0 {
+		t.Errorf("CheckEvery=1 committed %d silent escapes; full verification must catch every fault", st.SilentEscapes)
+	}
+	if st.Quarantines == 0 {
+		t.Error("repeated detections should quarantine suspect cells")
+	}
+	// The checker blames whole footprints, so healthy neighbours get
+	// quarantined alongside faulty cells — and probation must recover them.
+	if st.FalsePositiveQuarantines == 0 {
+		t.Error("whole-footprint blame should produce false-positive quarantines")
+	}
+	if st.Reinstatements == 0 {
+		t.Error("probation should reinstate quarantined false positives")
+	}
+}
+
+// TestRecoveryBeatsFailStop compares the recovery layer against the
+// no-recovery baseline (fail-stop: first detection routes everything to the
+// GPP forever) on the identical scenario: retry + quarantine + probation
+// must sustain strictly more on-fabric throughput across the horizon.
+func TestRecoveryBeatsFailStop(t *testing.T) {
+	recovery, err := RunLifetime(faultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	failStopCfg := faultCfg()
+	failStopCfg.Recovery = &RecoveryPolicy{CheckEvery: 1, FailStop: true}
+	failStop, err := RunLifetime(failStopCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offloads := func(r *LifetimeResult) uint64 {
+		var total uint64
+		for _, rec := range r.Timeline {
+			total += rec.Offloads
+		}
+		return total
+	}
+	ro, fo := offloads(recovery), offloads(failStop)
+	if ro <= fo {
+		t.Errorf("recovery sustained %d offloads, fail-stop %d; recovery must be strictly higher", ro, fo)
+	}
+	if failStop.Recovery.Stats.DetectedFaults == 0 {
+		t.Error("fail-stop run never latched; comparison is vacuous")
+	}
+}
+
+// TestRecoveryWithoutFaultsDetectsHardDeaths runs recovery with no
+// intermittent-fault model: hard end-of-life deaths are the only fault
+// source, and the runtime must still discover them (deterministic faults on
+// dead footprints) with measurable detection latency instead of reading the
+// oracle's instant alive→dead flip.
+func TestRecoveryWithoutFaultsDetectsHardDeaths(t *testing.T) {
+	cfg := faultCfg()
+	cfg.Faults = nil
+	cfg.MaxYears = 10
+	res, err := RunLifetime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Recovery
+	if rec == nil {
+		t.Fatal("recovery-enabled run must carry a RecoveryReport")
+	}
+	if res.TotalDeaths == 0 {
+		t.Fatal("horizon too short: no hard deaths to detect")
+	}
+	if rec.DetectedDeaths == 0 {
+		t.Error("hard deaths were never discovered through detection")
+	}
+	if rec.FalseNegatives != 0 {
+		t.Errorf("%d dead cells never quarantined: deterministic dead-footprint faults must surface them", rec.FalseNegatives)
+	}
+	if rec.DetectedDeaths > 0 && rec.MeanDetectionLatencyYears <= 0 {
+		t.Error("detection latency should be positive: discovery takes at least part of an epoch")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"agingcgra/internal/gpp"
 	"agingcgra/internal/isa"
 	"agingcgra/internal/mapper"
+	recov "agingcgra/internal/recover"
 	"agingcgra/internal/searchcost"
 )
 
@@ -120,6 +121,16 @@ type Options struct {
 	// shape-adaptive remapper searches). Only consulted when
 	// ShapeTranslations is set.
 	Ladder fabric.ShapeLadder
+	// Recovery attaches the fault-injection and detection/recovery monitor
+	// (internal/recover). When set, every offload draws fault
+	// manifestations from the monitor's truth maps, sampled offloads are
+	// verified against the GPP reference, detected faults trigger bounded
+	// on-fabric retries and then GPP backoff, and the fail-stop latch
+	// routes everything to the GPP. In this regime Health should be the
+	// monitor's *observed* map, not ground truth — the whole point is that
+	// placement plans around what the runtime detected. Nil (the default)
+	// costs the fault-free path nothing.
+	Recovery *recov.Monitor
 }
 
 func (o *Options) applyDefaults() {
@@ -377,6 +388,12 @@ func (e *Engine) Run(c *gpp.Core, limit uint64) (*Report, error) {
 	if instrumented != nil {
 		allocStart = instrumented.SearchCounts()
 	}
+	// Same delta convention for the recovery monitor's checker/retry work:
+	// the monitor persists across the epoch's engines.
+	var monStart searchcost.Counts
+	if e.opts.Recovery != nil {
+		monStart = e.opts.Recovery.SearchCounts()
+	}
 	for !c.Halted() {
 		if c.RetiredCount() >= limit {
 			return nil, fmt.Errorf("dbt: instruction limit %d reached at pc %#x", limit, c.PC)
@@ -407,6 +424,9 @@ func (e *Engine) Run(c *gpp.Core, limit uint64) (*Report, error) {
 	if instrumented != nil {
 		e.rep.Search.Add(instrumented.SearchCounts().Sub(allocStart))
 	}
+	if e.opts.Recovery != nil {
+		e.rep.Search.Add(e.opts.Recovery.SearchCounts().Sub(monStart))
+	}
 	rep := e.rep
 	return &rep, nil
 }
@@ -418,6 +438,14 @@ func (e *Engine) Run(c *gpp.Core, limit uint64) (*Report, error) {
 // divergence, and the instruction/class/cycle attribution is applied once
 // from the count of ops that ran.
 func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
+	if mon := e.opts.Recovery; mon != nil && mon.FabricDistrusted() {
+		// Fail-stop: the first detected fault condemned the whole fabric and
+		// every later offload retires on the GPP (the no-recovery baseline
+		// the recovery policy is measured against). The region is already
+		// translated, so the trace builder is not re-engaged.
+		_, err := e.stepOnGPP(c)
+		return err
+	}
 	if e.opts.ShapeTranslations {
 		// The resident translations' shapes were decided under one
 		// (health, wear) state; if either version moved, every decision is
@@ -472,8 +500,6 @@ func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
 	if err != nil {
 		return err
 	}
-	e.rep.CGRAInstrs += uint64(n)
-	e.rep.CGRAClasses.Add(ClassCounts(mapped.ClassCountsFirst(n)))
 
 	execCycles := mapped.ExecCyclesFirst(n)
 	overhead := e.opts.OffloadOverhead
@@ -490,6 +516,14 @@ func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
 		e.residentPC, e.residentOff, e.hasResident = mapped.StartPC, off, true
 		e.rep.ReconfigEvents++
 	}
+
+	if e.opts.Recovery != nil {
+		e.offloadWithRecovery(mapped, off, n, early, overhead, reconfig, execCycles)
+		return nil
+	}
+
+	e.rep.CGRAInstrs += uint64(n)
+	e.rep.CGRAClasses.Add(ClassCounts(mapped.ClassCountsFirst(n)))
 	duration := overhead + reconfig + execCycles
 	e.ctrl.Commit(mapped, off, duration)
 
@@ -502,6 +536,80 @@ func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
 		e.rep.EarlyExits++
 	}
 	return nil
+}
+
+// offloadWithRecovery runs the fault-manifestation and detection loop of
+// one offload. The architectural result is already computed (functional
+// execution stays on the GPP interpreter — the trace-driven split); what
+// faults corrupt is the *accounting* world: a faulty unchecked execution
+// commits as a silent escape, a detected one is retried on-fabric up to
+// MaxRetries (each retry a real execution: stress, cycles, a fresh context
+// transfer) and then abandoned to the GPP, whose re-execution cost is
+// attributed at the GPP timing model over the same instruction prefix.
+func (e *Engine) offloadWithRecovery(mapped *fabric.Config, off fabric.Offset, n int, early bool, overhead, reconfig, execCycles uint64) {
+	mon := e.opts.Recovery
+	cells := mapped.Cells()
+	toGPP := false
+	for attempt := 0; ; attempt++ {
+		duration := overhead + execCycles
+		if attempt == 0 {
+			duration += reconfig
+		} else {
+			mon.RecordRetry(duration)
+		}
+		e.ctrl.Commit(mapped, off, duration)
+		e.rep.StressSum += uint64(len(cells)) * duration
+		e.rep.CGRACycles += duration
+		e.rep.OverheadCycles += overhead
+		if attempt == 0 {
+			e.rep.ReconfigCycles += reconfig
+			e.rep.Offloads++
+		}
+		faulted := mon.DrawExec(cells, off)
+		checked := attempt > 0 || mon.SampleCheck()
+		if !checked {
+			if faulted {
+				mon.RecordEscape()
+			}
+			break
+		}
+		mon.PriceCheck(n)
+		if !faulted {
+			if attempt > 0 {
+				mon.RecordRetrySuccess()
+			}
+			break
+		}
+		mon.RecordDetection(cells, off)
+		if attempt >= mon.MaxRetries() || mon.FabricDistrusted() {
+			mon.RecordBackoff()
+			toGPP = true
+			break
+		}
+	}
+	if toGPP {
+		// The region's architectural work lands on the GPP re-execution.
+		e.rep.GPPInstrs += uint64(n)
+		e.rep.GPPClasses.Add(ClassCounts(mapped.ClassCountsFirst(n)))
+		e.rep.GPPCycles += e.gppCyclesFirst(mapped, n)
+	} else {
+		e.rep.CGRAInstrs += uint64(n)
+		e.rep.CGRAClasses.Add(ClassCounts(mapped.ClassCountsFirst(n)))
+	}
+	if early {
+		e.rep.EarlyExits++
+	}
+}
+
+// gppCyclesFirst prices the first n ops of a configuration at the GPP
+// timing model: the backoff path's attribution. Backoffs are rare (they
+// need MaxRetries consecutive detected faults), so the O(n) walk is fine.
+func (e *Engine) gppCyclesFirst(cfg *fabric.Config, n int) uint64 {
+	var cycles uint64
+	for _, op := range cfg.Ops[:n] {
+		cycles += e.opts.Timing.CyclesFor(op.Inst, op.Taken)
+	}
+	return cycles
 }
 
 // stateVersions snapshots the (health, wear) versions the shape decisions

@@ -10,7 +10,9 @@
 package dse
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"agingcgra/internal/dbt"
@@ -90,10 +92,22 @@ type Point struct {
 // pool (workers <= 0 selects runtime.NumCPU; 1 forces the serial path,
 // which short-circuits on the first error). On failure the error of the
 // lowest-indexed failing call is returned, matching the serial path, and
-// every started call is still driven to completion. It is the shared sweep
-// primitive behind RunPoints and the lifetime scenario batches; fn must be
-// safe to call from multiple goroutines for distinct indices.
+// every started call is still driven to completion. A panicking work item
+// does not take down the pool (or, on the parallel path, the whole
+// process): the panic is recovered and surfaces as that index's error, so
+// one malformed design point fails its sweep cleanly instead of crashing a
+// batch of unrelated points. It is the shared sweep primitive behind
+// RunPoints and the lifetime scenario batches; fn must be safe to call from
+// multiple goroutines for distinct indices.
 func ForEach(n, workers int, fn func(i int) error) error {
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("dse: work item %d panicked: %v\n%s", i, r, debug.Stack())
+			}
+		}()
+		return fn(i)
+	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -102,7 +116,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := call(i); err != nil {
 				return err
 			}
 		}
@@ -117,7 +131,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				errs[i] = fn(i)
+				errs[i] = call(i)
 			}
 		}()
 	}

@@ -2,6 +2,8 @@ package dse
 
 import (
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 
 	"agingcgra/internal/fabric"
@@ -99,5 +101,38 @@ func TestRefCacheMatchesDirect(t *testing.T) {
 	}
 	if r1 != r2 {
 		t.Errorf("zero timing should normalize to the default: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestForEachRecoversPanics pins the sweep primitive's panic safety: a
+// panicking work item becomes that index's error on the serial and the
+// parallel path alike — one malformed design point must not crash a batch.
+func TestForEachRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		done := make(map[int]bool)
+		err := ForEach(8, workers, func(i int) error {
+			if i == 3 {
+				panic("design point exploded")
+			}
+			mu.Lock()
+			done[i] = true
+			mu.Unlock()
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic should surface as an error", workers)
+		}
+		if !strings.Contains(err.Error(), "work item 3 panicked") {
+			t.Errorf("workers=%d: error should name the panicking index, got: %v", workers, err)
+		}
+		if workers > 1 {
+			// Parallel path drives every other item to completion.
+			for i := 0; i < 8; i++ {
+				if i != 3 && !done[i] {
+					t.Errorf("workers=%d: item %d not driven to completion", workers, i)
+				}
+			}
+		}
 	}
 }

@@ -58,6 +58,25 @@ func (h *Health) Kill(c Cell) bool {
 	return true
 }
 
+// Revive marks a failed cell functional again and reports whether the cell
+// was newly revived (false for live and out-of-range cells). Ground-truth
+// aging never revives — hard failures are permanent — but the recovery
+// layer's *observed* health map uses it when a quarantined cell passes
+// probation: the quarantine was the runtime's belief, not physics.
+func (h *Health) Revive(c Cell) bool {
+	if !h.inRange(c) {
+		return false
+	}
+	i := c.Row*h.geom.Cols + c.Col
+	if !h.dead[i] {
+		return false
+	}
+	h.dead[i] = false
+	h.deadCount--
+	h.version++
+	return true
+}
+
 // Dead reports whether the cell has failed. Out-of-range cells read as dead.
 func (h *Health) Dead(c Cell) bool {
 	if !h.inRange(c) {

@@ -78,3 +78,33 @@ func TestNewHealthWithDead(t *testing.T) {
 		t.Error("out-of-range dead cell accepted")
 	}
 }
+
+func TestHealthRevive(t *testing.T) {
+	g := NewGeometry(2, 4)
+	h := NewHealth(g)
+	c := Cell{Row: 1, Col: 2}
+	if h.Revive(c) {
+		t.Error("reviving an alive cell should be a no-op")
+	}
+	h.Kill(c)
+	v := h.Version()
+	if !h.Revive(c) {
+		t.Fatal("reviving a dead cell should report a change")
+	}
+	if h.Dead(c) || h.DeadCount() != 0 {
+		t.Error("revived cell should read alive again")
+	}
+	if h.Version() == v {
+		t.Error("revive must bump the version")
+	}
+	v = h.Version()
+	if h.Revive(c) {
+		t.Error("repeated revive should be idempotent")
+	}
+	if h.Version() != v {
+		t.Error("no-op revive must not move the version")
+	}
+	if h.Revive(Cell{Row: 5, Col: 0}) {
+		t.Error("out-of-range revive should be rejected")
+	}
+}

@@ -122,7 +122,9 @@ func PatternCells(name string, g Geometry) ([]Cell, error) {
 			}
 			cols = append(cols, n)
 		}
-		return DeadColumnsCells(g, cols...), nil
+		// A repeated column (columns:0+0) must not yield duplicate cells:
+		// injecting the list into a health map would double-count deaths.
+		return dedupCells(DeadColumnsCells(g, cols...)), nil
 	case "quadrant", "dead-quadrant":
 		return DeadQuadrantCells(g), nil
 	case "checkerboard", "checker":
@@ -139,6 +141,20 @@ func PatternCells(name string, g Geometry) ([]Cell, error) {
 		return SurvivorRowCells(g, r), nil
 	}
 	return nil, fmt.Errorf("fabric: unknown failure pattern %q (want healthy, column[:c], columns:c1+c2, quadrant, checkerboard[:p], survivor-row[:r])", name)
+}
+
+// dedupCells drops repeated cells, preserving first-occurrence order.
+func dedupCells(cells []Cell) []Cell {
+	seen := make(map[Cell]bool, len(cells))
+	out := cells[:0]
+	for _, c := range cells {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	return out
 }
 
 // PatternNames lists the named failure patterns PatternCells accepts.

@@ -62,3 +62,55 @@ func TestPatternCells(t *testing.T) {
 		}
 	}
 }
+
+// TestPatternCellsDegenerateGeometries pins the named patterns on the
+// geometries where the "middle column", "quadrant" and "checkerboard"
+// defaults are easiest to get wrong: single-row, single-column and minimal
+// square fabrics. Every pattern must either resolve to in-range,
+// duplicate-free cells or fail with a clean error — never panic, never
+// emit a cell outside the fabric.
+func TestPatternCellsDegenerateGeometries(t *testing.T) {
+	geoms := []Geometry{NewGeometry(1, 4), NewGeometry(4, 1), NewGeometry(2, 2)}
+	names := []string{
+		"healthy", "none",
+		"column", "column:0",
+		"columns:0", "columns:0+0",
+		"quadrant",
+		"checkerboard", "checkerboard:1",
+		"survivor-row", "survivor-row:0",
+	}
+	for _, g := range geoms {
+		for _, name := range names {
+			cells, err := PatternCells(name, g)
+			if err != nil {
+				// An error is acceptable on degenerate fabrics (e.g. an
+				// index outside a 1-wide dimension) as long as it is
+				// descriptive, not a panic.
+				continue
+			}
+			seen := make(map[Cell]bool, len(cells))
+			for _, c := range cells {
+				if c.Row < 0 || c.Row >= g.Rows || c.Col < 0 || c.Col >= g.Cols {
+					t.Errorf("%v / %s: cell %v outside fabric", g, name, c)
+				}
+				if seen[c] {
+					t.Errorf("%v / %s: duplicate cell %v", g, name, c)
+				}
+				seen[c] = true
+			}
+		}
+	}
+}
+
+// TestPatternCellsDedupRepeatedColumns pins the repeated-column case
+// directly: columns:0+0 must collapse to one column's cells.
+func TestPatternCellsDedupRepeatedColumns(t *testing.T) {
+	g := NewGeometry(2, 4)
+	cells, err := PatternCells("columns:0+0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != g.Rows {
+		t.Fatalf("columns:0+0 yielded %d cells, want %d (one column, deduplicated)", len(cells), g.Rows)
+	}
+}

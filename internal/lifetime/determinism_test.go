@@ -7,6 +7,7 @@ import (
 
 	"agingcgra/internal/dse"
 	"agingcgra/internal/fabric"
+	recov "agingcgra/internal/recover"
 )
 
 // batch is a small heterogeneous scenario batch: two geometries × four
@@ -38,6 +39,14 @@ func batch() []Scenario {
 		sc.Engine.StaleTranslations = true
 		return sc
 	}
+	faulty := func(rows, cols int, f dse.AllocatorFactory, bench string, failStop bool) Scenario {
+		sc := mk(rows, cols, f, bench)
+		sc.MaxYears = 8
+		sc.Seed = 99
+		sc.FaultModel = &FaultModel{IntermittentAt: 0.5, MaxProb: 0.05}
+		sc.Recovery = &recov.Policy{CheckEvery: 2, FailStop: failStop}
+		return sc
+	}
 	shaped := func(rows, cols int, f dse.AllocatorFactory, bench, pattern string) Scenario {
 		sc := mk(rows, cols, f, bench)
 		if pattern != "" {
@@ -64,6 +73,12 @@ func batch() []Scenario {
 		shaped(2, 16, dse.ExploreFactory, "crc32", "columns:0+8"),
 		shaped(2, 16, dse.RemapFactory, "crc32", "columns:0+8"),
 		shaped(4, 8, dse.ExploreFactory, "bitcount", ""),
+		// Fault-enabled scenarios put the per-(epoch, cell) keyed fault
+		// draws, the checker/retry path and the quarantine/probation state
+		// machine under the same serial==parallel==-race contract.
+		faulty(2, 16, dse.BaselineFactory, "crc32", false),
+		faulty(2, 16, dse.ProposedFactory, "crc32", true),
+		faulty(4, 8, dse.RemapFactory, "bitcount", false),
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"agingcgra/internal/fabric"
 	"agingcgra/internal/isa"
 	"agingcgra/internal/prog"
+	recov "agingcgra/internal/recover"
 	"agingcgra/internal/searchcost"
 )
 
@@ -94,9 +95,66 @@ type Scenario struct {
 	// predates the failures — the regime where clustered deaths drive
 	// translation-only allocators to the GPP.
 	Engine dbt.Options
+	// Seed seeds the scenario's deterministic fault-injection PRNG (the
+	// per-(epoch, cell) keyed draws of internal/recover). The default is 1;
+	// an explicit zero also selects the default, so fleet-style scenario
+	// distributions pick distinct non-zero seeds per device. Unused unless
+	// FaultModel or Recovery is set.
+	Seed uint64
+	// FaultModel enables wear-derived intermittent faults: each live cell
+	// whose consumed lifetime crosses the intermittent threshold faults on
+	// a fraction of its executions (hard death stays at the unchanged 10%
+	// delay threshold). Intermittent faults are unobservable without the
+	// checker, so FaultModel requires Recovery.
+	FaultModel *FaultModel
+	// Recovery enables the detection/quarantine/recovery layer and hides
+	// the oracle: placement consumes the monitor's *observed* health map —
+	// quarantines and probation reinstatements — instead of ground truth,
+	// and hard deaths are discovered through detection like any other
+	// fault. May be set without FaultModel (only hard deaths manifest).
+	Recovery *recov.Policy
 	// Refs memoizes stand-alone GPP references; RunScenarios installs a
 	// batch-wide cache automatically.
 	Refs *dse.RefCache
+}
+
+// FaultModel derives per-execution intermittent-fault probabilities from
+// consumed lifetime: zero below IntermittentAt, ramping linearly to MaxProb
+// as the cell approaches end-of-life. The lifetime simulator re-derives the
+// fabric.Faults map from the wear map at every epoch boundary.
+type FaultModel struct {
+	// IntermittentAt is the consumed-lifetime fraction (stress-years over
+	// the end-of-life threshold) past which a cell starts to fault
+	// intermittently (default 0.6).
+	IntermittentAt float64 `json:"intermittent_at"`
+	// MaxProb is the per-execution fault probability reached at consumed
+	// lifetime 1.0, i.e. just before hard death (default 0.02).
+	MaxProb float64 `json:"max_prob"`
+}
+
+func (fm *FaultModel) applyDefaults() {
+	if fm.IntermittentAt == 0 {
+		fm.IntermittentAt = 0.6
+	}
+	if fm.MaxProb == 0 {
+		fm.MaxProb = 0.02
+	}
+}
+
+// prob maps consumed lifetime to a per-execution fault probability.
+func (fm FaultModel) prob(consumed float64) float64 {
+	if consumed <= fm.IntermittentAt {
+		return 0
+	}
+	span := 1 - fm.IntermittentAt
+	if span <= 0 {
+		return fm.MaxProb
+	}
+	p := fm.MaxProb * (consumed - fm.IntermittentAt) / span
+	if p > fm.MaxProb {
+		p = fm.MaxProb
+	}
+	return p
 }
 
 func (sc *Scenario) applyDefaults() {
@@ -123,6 +181,15 @@ func (sc *Scenario) applyDefaults() {
 	}
 	if sc.Refs == nil {
 		sc.Refs = dse.NewRefCache()
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.FaultModel != nil {
+		sc.FaultModel.applyDefaults()
+	}
+	if sc.Recovery != nil {
+		sc.Recovery.ApplyDefaults()
 	}
 }
 
@@ -157,6 +224,24 @@ func (sc *Scenario) validate() error {
 	for _, c := range sc.InitialDead {
 		if c.Row < 0 || c.Row >= sc.Geom.Rows || c.Col < 0 || c.Col >= sc.Geom.Cols {
 			return fmt.Errorf("lifetime: initial dead cell %v outside geometry %v", c, sc.Geom)
+		}
+	}
+	if fm := sc.FaultModel; fm != nil {
+		if sc.Recovery == nil {
+			return fmt.Errorf("lifetime: FaultModel requires Recovery: intermittent faults are " +
+				"unobservable without the checker, so a fault-injected run without the recovery " +
+				"layer would silently corrupt every measurement")
+		}
+		if fm.IntermittentAt < 0 || fm.IntermittentAt >= 1 {
+			return fmt.Errorf("lifetime: FaultModel.IntermittentAt %v must be in [0,1)", fm.IntermittentAt)
+		}
+		if fm.MaxProb <= 0 || fm.MaxProb > 1 {
+			return fmt.Errorf("lifetime: FaultModel.MaxProb %v must be in (0,1]", fm.MaxProb)
+		}
+	}
+	if sc.Recovery != nil {
+		if err := sc.Recovery.Validate(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -201,6 +286,13 @@ type EpochRecord struct {
 	// Replayed marks epochs whose co-simulation was reused from the memo
 	// because the fabric health did not change.
 	Replayed bool `json:"replayed,omitempty"`
+	// Fault/recovery activity of the epoch (omitted on fault-free runs):
+	// faulty executions, checker detections, silent-corruption escapes, and
+	// the runtime's observed-dead count (quarantined cells) at epoch end.
+	Faulted      uint64 `json:"faulted,omitempty"`
+	Detected     uint64 `json:"detected,omitempty"`
+	Escapes      uint64 `json:"escapes,omitempty"`
+	ObservedDead int    `json:"observed_dead,omitempty"`
 }
 
 // Result is the lifetime timeline of one scenario.
@@ -237,6 +329,40 @@ type Result struct {
 	// epoch regardless of whether the simulator memoized the outcome. Nil
 	// when the allocator ran no counted search (baseline, snake).
 	Search *SearchReport `json:"search,omitempty"`
+
+	// Recovery is the fault-injection and detection/recovery summary:
+	// the runtime's measured view cross-referenced against ground truth.
+	// Nil when the scenario ran with the oracle (no Recovery policy).
+	Recovery *RecoveryReport `json:"recovery,omitempty"`
+}
+
+// RecoveryReport summarises a recovery-enabled scenario: the policy and
+// fault model in force, the monitor's cumulative activity (replayed epochs
+// re-add their memoized per-epoch deltas, like the search counts), and the
+// measured-vs-truth quality metrics only the simulator — which holds both
+// views — can compute.
+type RecoveryReport struct {
+	Policy recov.Policy `json:"policy"`
+	Fault  *FaultModel  `json:"fault_model,omitempty"`
+	Seed   uint64       `json:"seed"`
+	Stats  recov.Stats  `json:"stats"`
+
+	// TrueDead and ObservedDead compare the horizon end states;
+	// FalseNegatives counts truth-dead cells the runtime never quarantined,
+	// FalsePositivesOpen the truth-live cells still quarantined at the
+	// horizon (false positives probation had not yet recovered).
+	TrueDead           int `json:"true_dead"`
+	ObservedDead       int `json:"observed_dead"`
+	FalseNegatives     int `json:"false_negatives"`
+	FalsePositivesOpen int `json:"false_positives_open"`
+
+	// DetectedDeaths counts quarantines of genuinely dead cells;
+	// Mean/MaxDetectionLatencyYears measure how long those cells kept
+	// faulting (and being retried or escaping) before quarantine caught
+	// them — the oracle's atomic alive→dead flip had latency zero.
+	DetectedDeaths            int     `json:"detected_deaths"`
+	MeanDetectionLatencyYears float64 `json:"mean_detection_latency_years,omitempty"`
+	MaxDetectionLatencyYears  float64 `json:"max_detection_latency_years,omitempty"`
 }
 
 // SearchReport is the scenario-level summary of the derived search-cost
@@ -273,7 +399,11 @@ type epochRun struct {
 	instrs    uint64
 	offloads  uint64
 	search    searchcost.Counts
-	util      *core.UtilizationMap
+	// recovery is the monitor's per-epoch activity delta (probes included).
+	// A replayed epoch re-adds it: escapes and checks recur every epoch of
+	// a steady state even though the simulator memoized the outcome.
+	recovery recov.Stats
+	util     *core.UtilizationMap
 }
 
 // Run simulates one scenario to its horizon.
@@ -320,9 +450,56 @@ func Run(sc Scenario) (*Result, error) {
 	n := sc.Geom.NumFUs()
 	threshold := sc.Model.CalibYears * sc.Model.CalibUtil
 
+	// Fault injection and the runtime's observed view. The faults map is
+	// re-derived from wear at every epoch boundary; the monitor owns the
+	// injection PRNG and the observed health map placement consumes when
+	// the oracle is hidden.
+	var faults *fabric.Faults
+	if sc.FaultModel != nil {
+		faults = fabric.NewFaults(sc.Geom)
+	}
+	var mon *recov.Monitor
+	if sc.Recovery != nil {
+		mon = recov.NewMonitor(sc.Geom, *sc.Recovery, health, faults, sc.Seed)
+	}
+	// deathAge maps each dead cell to its interpolated death age, so
+	// quarantine events of truth-dead cells yield detection latencies.
+	// Injected initial deaths read as age zero.
+	var deathAge map[fabric.Cell]float64
+	if mon != nil {
+		deathAge = make(map[fabric.Cell]float64, n)
+		for _, c := range sc.InitialDead {
+			deathAge[c] = 0
+		}
+	}
+
+	// The epoch memo key is the fabric state the epoch's outcome is a pure
+	// function of, captured at epoch start: health always, wear for
+	// wear-adaptive scenarios, and — per the PR 3/5 memo-key rule — the
+	// fault map and the monitor's persistent observable state for
+	// fault/recovery scenarios. While faults fire or the observed view
+	// shifts, consecutive keys differ and epochs re-simulate; once the
+	// state goes quiescent the key repeats and epochs replay, re-using the
+	// memoized epoch's draws as the steady-state approximation.
+	type stateKey struct {
+		health, wear, faults, mon uint64
+	}
+	currentKey := func() stateKey {
+		k := stateKey{health: health.Version()}
+		if wearAware {
+			k.wear = wear.Version()
+		}
+		if faults != nil {
+			k.faults = faults.Version()
+		}
+		if mon != nil {
+			k.mon = mon.Version()
+		}
+		return k
+	}
+
 	var last *epochRun
-	lastVersion := ^uint64(0)
-	lastWearVer := ^uint64(0)
+	var lastKey stateKey
 	years := 0.0
 	epochs := int(math.Ceil(sc.MaxYears/sc.EpochYears - 1e-9))
 
@@ -330,6 +507,9 @@ func Run(sc Scenario) (*Result, error) {
 	// scans, so replayed epochs contribute their memoized counts too.
 	var searchTotal searchcost.Counts
 	var offloadTotal, trCyclesTotal uint64
+	var recTotal recov.Stats
+	var latencySum, latencyMax float64
+	detectedDeaths := 0
 
 	for epoch := 0; epoch < epochs; epoch++ {
 		epochLen := sc.EpochYears
@@ -337,20 +517,42 @@ func Run(sc Scenario) (*Result, error) {
 			epochLen = sc.MaxYears - years
 		}
 
+		if faults != nil {
+			updateFaults(faults, wear, health, threshold, *sc.FaultModel)
+		}
+		key := currentKey()
 		run := last
-		replayed := run != nil && lastVersion == health.Version() &&
-			(!wearAware || lastWearVer == wear.Version())
+		replayed := run != nil && key == lastKey
+		var events []recov.Event
 		if !replayed {
-			r, err := runEpoch(&sc, health, wear)
+			statsBefore := recov.Stats{}
+			if mon != nil {
+				statsBefore = mon.Stats()
+				mon.BeginEpoch(epoch)
+			}
+			r, err := runEpoch(&sc, health, wear, mon)
 			if err != nil {
 				return nil, fmt.Errorf("lifetime: %s epoch %d: %w", sc.Name, epoch, err)
 			}
+			if mon != nil {
+				// Probation runs at the epoch boundary, after the mix:
+				// quarantined cells are probed and false positives earn
+				// their way back before the next epoch places around them.
+				// The probe work lands outside any engine run, so its
+				// search-count delta is attributed to the epoch here.
+				sb := mon.SearchCounts()
+				mon.ProbeQuarantined()
+				r.search.Add(mon.SearchCounts().Sub(sb))
+				r.recovery = mon.Stats().Sub(statsBefore)
+				events = mon.TakeEvents()
+			}
 			run, last = r, r
-			lastVersion, lastWearVer = health.Version(), wear.Version()
+			lastKey = key
 		}
 		searchTotal.Add(run.search)
 		offloadTotal += run.offloads
 		trCyclesTotal += run.trCycles
+		recTotal.Add(run.recovery)
 
 		// Age every live cell by the epoch, accelerated by the operating
 		// point in effect; cells crossing end-of-life die mid-epoch at the
@@ -369,12 +571,15 @@ func Run(sc Scenario) (*Result, error) {
 			wear.Add(cell, epochLen*rate)
 			after := before + epochLen*rate
 			if after >= threshold && rate > 0 {
-				deathAge := years + (threshold-before)/rate
-				if res.FirstDeathYears == 0 || deathAge < res.FirstDeathYears {
-					res.FirstDeathYears = deathAge
+				age := years + (threshold-before)/rate
+				if res.FirstDeathYears == 0 || age < res.FirstDeathYears {
+					res.FirstDeathYears = age
 				}
-				res.DeathAges = append(res.DeathAges, deathAge)
+				res.DeathAges = append(res.DeathAges, age)
 				health.Kill(cell)
+				if deathAge != nil {
+					deathAge[cell] = age
+				}
 				deaths = append(deaths, cell)
 				continue
 			}
@@ -383,6 +588,24 @@ func Run(sc Scenario) (*Result, error) {
 			}
 		}
 		years += epochLen
+
+		// Cross-reference the epoch's quarantine events against ground
+		// truth: a quarantine of a dead cell is a detection, timed from the
+		// cell's interpolated death age to the end of the detecting epoch.
+		for _, ev := range events {
+			if ev.Kind != recov.Quarantine || !ev.TruthDead {
+				continue
+			}
+			lat := years - deathAge[ev.Cell]
+			if lat < 0 {
+				lat = 0
+			}
+			latencySum += lat
+			if lat > latencyMax {
+				latencyMax = lat
+			}
+			detectedDeaths++
+		}
 
 		worstUtil, _ := run.util.Max()
 		speedup := 0.0
@@ -393,7 +616,7 @@ func Run(sc Scenario) (*Result, error) {
 		if run.trCycles > 0 {
 			ipc = float64(run.instrs) / float64(run.trCycles)
 		}
-		res.Timeline = append(res.Timeline, EpochRecord{
+		rec := EpochRecord{
 			Epoch:         epoch,
 			Years:         years,
 			WorstUtil:     worstUtil,
@@ -406,7 +629,14 @@ func Run(sc Scenario) (*Result, error) {
 			IPC:           ipc,
 			Offloads:      run.offloads,
 			Replayed:      replayed,
-		})
+		}
+		if mon != nil {
+			rec.Faulted = run.recovery.FaultedExecs
+			rec.Detected = run.recovery.DetectedFaults
+			rec.Escapes = run.recovery.SilentEscapes
+			rec.ObservedDead = mon.Observed().DeadCount()
+		}
+		res.Timeline = append(res.Timeline, rec)
 		res.TotalDeaths += len(deaths)
 	}
 
@@ -433,20 +663,74 @@ func Run(sc Scenario) (*Result, error) {
 		}
 		res.Search = rep
 	}
+	if mon != nil {
+		rr := &RecoveryReport{
+			Policy:         mon.Policy(),
+			Fault:          sc.FaultModel,
+			Seed:           sc.Seed,
+			Stats:          recTotal,
+			TrueDead:       health.DeadCount(),
+			ObservedDead:   mon.Observed().DeadCount(),
+			DetectedDeaths: detectedDeaths,
+		}
+		observed := mon.Observed()
+		for r := 0; r < sc.Geom.Rows; r++ {
+			for c := 0; c < sc.Geom.Cols; c++ {
+				cell := fabric.Cell{Row: r, Col: c}
+				switch {
+				case health.Dead(cell) && !observed.Dead(cell):
+					rr.FalseNegatives++
+				case !health.Dead(cell) && observed.Dead(cell):
+					rr.FalsePositivesOpen++
+				}
+			}
+		}
+		if detectedDeaths > 0 {
+			rr.MeanDetectionLatencyYears = latencySum / float64(detectedDeaths)
+			rr.MaxDetectionLatencyYears = latencyMax
+		}
+		res.Recovery = rr
+	}
 	return res, nil
+}
+
+// updateFaults re-derives the per-execution fault probabilities from the
+// accumulated wear: dead cells carry probability zero (hard death manifests
+// through ground truth directly), live cells ramp per the fault model.
+// fabric.Faults.Set only advances the version on actual change, so a
+// quiescent fabric keeps the epoch memo valid.
+func updateFaults(f *fabric.Faults, wear *fabric.Wear, health *fabric.Health, threshold float64, fm FaultModel) {
+	g := f.Geometry()
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			cell := fabric.Cell{Row: r, Col: c}
+			if health.Dead(cell) {
+				f.Set(cell, 0)
+				continue
+			}
+			f.Set(cell, fm.prob(wear.YearsAt(cell)/threshold))
+		}
+	}
 }
 
 // runEpoch co-simulates the workload mix once on the current fabric state:
 // a fresh allocator and controller (sharing one fabric across the mix, as a
 // deployed chip would within an epoch), fresh engines and caches, and the
 // scenario's health and wear maps wired into the mapper, the placement and
-// any wear-adaptive allocator.
-func runEpoch(sc *Scenario, health *fabric.Health, wear *fabric.Wear) (*epochRun, error) {
+// any wear-adaptive allocator. With a recovery monitor attached the oracle
+// is hidden: mapper and placement consume the monitor's observed health
+// map, and ground truth stays with the simulator (aging, deaths and fault
+// manifestation).
+func runEpoch(sc *Scenario, health *fabric.Health, wear *fabric.Wear, mon *recov.Monitor) (*epochRun, error) {
 	ctrl, err := core.NewController(sc.Geom, sc.Factory(sc.Geom))
 	if err != nil {
 		return nil, err
 	}
-	ctrl.SetHealth(health)
+	placeHealth := health
+	if mon != nil {
+		placeHealth = mon.Observed()
+	}
+	ctrl.SetHealth(placeHealth)
 	ctrl.SetWear(wear)
 
 	run := &epochRun{}
@@ -464,7 +748,8 @@ func runEpoch(sc *Scenario, health *fabric.Health, wear *fabric.Wear) (*epochRun
 		eopts := sc.Engine
 		eopts.Geom = sc.Geom
 		eopts.Controller = ctrl
-		eopts.Health = health
+		eopts.Health = placeHealth
+		eopts.Recovery = mon
 		eng, err := dbt.NewEngine(eopts)
 		if err != nil {
 			return nil, err

@@ -147,6 +147,7 @@ type SearchCostRow struct {
 	ExplorerCycles    float64
 	RemapCycles       float64
 	TranslationCycles float64
+	RecoveryCycles    float64
 	TotalCycles       float64
 	EnergyNJ          float64
 	PerOffloadCycles  float64
@@ -158,7 +159,7 @@ type SearchCostRow struct {
 // story — as an aligned table, one row per scenario.
 func SearchCostTable(rows []SearchCostRow) string {
 	t := &Table{Header: []string{
-		"scenario", "explorer", "remap", "translation", "total", "energy", "per-offload", "overhead",
+		"scenario", "explorer", "remap", "translation", "recovery", "total", "energy", "per-offload", "overhead",
 	}}
 	for _, r := range rows {
 		t.AddRow(
@@ -166,10 +167,60 @@ func SearchCostTable(rows []SearchCostRow) string {
 			fmt.Sprintf("%.3gcy", r.ExplorerCycles),
 			fmt.Sprintf("%.3gcy", r.RemapCycles),
 			fmt.Sprintf("%.3gcy", r.TranslationCycles),
+			fmt.Sprintf("%.3gcy", r.RecoveryCycles),
 			fmt.Sprintf("%.3gcy", r.TotalCycles),
 			fmt.Sprintf("%.3guJ", r.EnergyNJ/1e3),
 			fmt.Sprintf("%.2fcy", r.PerOffloadCycles),
 			fmt.Sprintf("%.2f%%", 100*r.OverheadFrac),
+		)
+	}
+	return t.String()
+}
+
+// RecoveryRow is one scenario's detection/quarantine/recovery summary for
+// RecoveryTable: the runtime's measured view cross-referenced against
+// ground truth at the horizon.
+type RecoveryRow struct {
+	Name               string
+	Faulted            uint64
+	Detected           uint64
+	Escapes            uint64
+	Retries            uint64
+	Backoffs           uint64
+	Quarantines        uint64
+	Reinstated         uint64
+	TrueDead           int
+	ObservedDead       int
+	FalseNegatives     int
+	FalsePositivesOpen int
+	MeanLatencyYears   float64
+}
+
+// RecoveryTable renders the fault-recovery summary of a lifetime batch as
+// an aligned table, one row per recovery-enabled scenario.
+func RecoveryTable(rows []RecoveryRow) string {
+	t := &Table{Header: []string{
+		"scenario", "faulted", "detected", "escapes", "retries", "backoffs",
+		"quarantined", "reinstated", "dead(true/obs)", "fneg", "fpos-open", "latency",
+	}}
+	for _, r := range rows {
+		lat := "-"
+		if r.MeanLatencyYears > 0 {
+			lat = fmt.Sprintf("%.2fy", r.MeanLatencyYears)
+		}
+		t.AddRow(
+			r.Name,
+			fmt.Sprintf("%d", r.Faulted),
+			fmt.Sprintf("%d", r.Detected),
+			fmt.Sprintf("%d", r.Escapes),
+			fmt.Sprintf("%d", r.Retries),
+			fmt.Sprintf("%d", r.Backoffs),
+			fmt.Sprintf("%d", r.Quarantines),
+			fmt.Sprintf("%d", r.Reinstated),
+			fmt.Sprintf("%d/%d", r.TrueDead, r.ObservedDead),
+			fmt.Sprintf("%d", r.FalseNegatives),
+			fmt.Sprintf("%d", r.FalsePositivesOpen),
+			lat,
 		)
 	}
 	return t.String()

@@ -55,6 +55,20 @@ type Counts struct {
 	LadderScans      uint64 `json:"ladder_scans"`
 	LadderCandidates uint64 `json:"ladder_candidates"`
 	LadderProbes     uint64 `json:"ladder_probes"`
+
+	// Recovery-layer verification work (internal/recover): CheckerRuns
+	// counts sampled offload verifications and CheckerInstrs the
+	// instructions each re-executed against the GPP guided-replay reference;
+	// RetryExecs counts on-fabric retry executions after a detected fault
+	// and RetryCycles their fabric cycles (retries re-run the whole
+	// configuration, so they are priced at actual execution cycles, not
+	// per-evaluation); RecoveryProbes counts the per-cell probation test
+	// vectors run against quarantined FUs.
+	CheckerRuns    uint64 `json:"checker_runs,omitempty"`
+	CheckerInstrs  uint64 `json:"checker_instrs,omitempty"`
+	RetryExecs     uint64 `json:"retry_execs,omitempty"`
+	RetryCycles    uint64 `json:"retry_cycles,omitempty"`
+	RecoveryProbes uint64 `json:"recovery_probes,omitempty"`
 }
 
 // Add accumulates other into c.
@@ -70,6 +84,11 @@ func (c *Counts) Add(other Counts) {
 	c.LadderScans += other.LadderScans
 	c.LadderCandidates += other.LadderCandidates
 	c.LadderProbes += other.LadderProbes
+	c.CheckerRuns += other.CheckerRuns
+	c.CheckerInstrs += other.CheckerInstrs
+	c.RetryExecs += other.RetryExecs
+	c.RetryCycles += other.RetryCycles
+	c.RecoveryProbes += other.RecoveryProbes
 }
 
 // Sub returns c minus other, for delta accounting across a shared
@@ -88,6 +107,11 @@ func (c Counts) Sub(other Counts) Counts {
 		LadderScans:      c.LadderScans - other.LadderScans,
 		LadderCandidates: c.LadderCandidates - other.LadderCandidates,
 		LadderProbes:     c.LadderProbes - other.LadderProbes,
+		CheckerRuns:      c.CheckerRuns - other.CheckerRuns,
+		CheckerInstrs:    c.CheckerInstrs - other.CheckerInstrs,
+		RetryExecs:       c.RetryExecs - other.RetryExecs,
+		RetryCycles:      c.RetryCycles - other.RetryCycles,
+		RecoveryProbes:   c.RecoveryProbes - other.RecoveryProbes,
 	}
 }
 
@@ -115,6 +139,16 @@ type Model struct {
 	// ProbeCycles is one mapper cell probe: an occupancy bit plus a health
 	// bit plus the port/context bookkeeping of the greedy row search.
 	ProbeCycles float64 `json:"probe_cycles"`
+	// CheckCyclesPerInstr is one checker-verified instruction: the GPP
+	// re-retires it from the guided-replay tables (one cycle for the ALU
+	// classes that dominate offloaded traces) and a comparator matches the
+	// result against the fabric's, so two controller-scale cycles per
+	// instruction checked.
+	CheckCyclesPerInstr float64 `json:"check_cycles_per_instr"`
+	// ProbeExecCycles is one probation test vector against a quarantined FU:
+	// load a known pattern, execute one op, compare — a fixed short sequence
+	// independent of the workload.
+	ProbeExecCycles float64 `json:"probe_exec_cycles"`
 	// EnergyPerCycleNJ converts controller cycles to nanojoules.
 	EnergyPerCycleNJ float64 `json:"energy_per_cycle_nj"`
 }
@@ -128,10 +162,12 @@ type Model struct {
 // engine beside a 32-FU array should.
 func DefaultModel() Model {
 	return Model{
-		ScoreCycles:      1,
-		ProjectCycles:    4,
-		ProbeCycles:      1,
-		EnergyPerCycleNJ: 0.1,
+		ScoreCycles:         1,
+		ProjectCycles:       4,
+		ProbeCycles:         1,
+		CheckCyclesPerInstr: 2,
+		ProbeExecCycles:     32,
+		EnergyPerCycleNJ:    0.1,
 	}
 }
 
@@ -153,10 +189,15 @@ type Breakdown struct {
 	Remap Cost `json:"remap"`
 	// Translation is the DBT's translation-time shape-ladder scan.
 	Translation Cost `json:"translation"`
+	// Recovery is the fault-detection layer's verification work: sampled
+	// checker re-executions, on-fabric retries and probation test vectors.
+	Recovery Cost `json:"recovery"`
 }
 
-// Total sums the three families.
-func (b Breakdown) Total() Cost { return b.Explorer.add(b.Remap).add(b.Translation) }
+// Total sums the families.
+func (b Breakdown) Total() Cost {
+	return b.Explorer.add(b.Remap).add(b.Translation).add(b.Recovery)
+}
 
 // Assess derives the cycle and energy cost of the counted search work.
 func (m Model) Assess(c Counts) Breakdown {
@@ -170,6 +211,9 @@ func (m Model) Assess(c Counts) Breakdown {
 			float64(c.RemapProjections)*m.ProjectCycles +
 			float64(c.RemapCells)*m.ScoreCycles),
 		Translation: price(float64(c.LadderProbes) * m.ProbeCycles),
+		Recovery: price(float64(c.CheckerInstrs)*m.CheckCyclesPerInstr +
+			float64(c.RetryCycles) +
+			float64(c.RecoveryProbes)*m.ProbeExecCycles),
 	}
 }
 
