@@ -41,14 +41,18 @@ type Result struct {
 	Speedup      float64 `json:"speedup,omitempty"`
 }
 
-// Report is the full emitted document.
+// Report is the full emitted document. NumCPU and GoMaxProcs are recorded
+// separately because they gate different things: NumCPU is the machine,
+// GOMAXPROCS is the schedule the parallel paths actually ran under (a
+// 64-core runner with GOMAXPROCS=1 benches like a single-core box).
 type Report struct {
-	Schema    string   `json:"schema"`
-	Timestamp string   `json:"timestamp"`
-	GoVersion string   `json:"go_version"`
-	NumCPU    int      `json:"num_cpu"`
-	Size      string   `json:"workload_size"`
-	Results   []Result `json:"results"`
+	Schema     string   `json:"schema"`
+	Timestamp  string   `json:"timestamp"`
+	GoVersion  string   `json:"go_version"`
+	NumCPU     int      `json:"num_cpu"`
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	Size       string   `json:"workload_size"`
+	Results    []Result `json:"results"`
 }
 
 func main() {
@@ -59,6 +63,8 @@ func main() {
 	compare := flag.String("compare", "", "baseline report to gate against; exits 1 on regression")
 	threshold := flag.Float64("compare-threshold", 0.25, "maximum tolerated fractional regression")
 	replay := flag.String("replay", "", "gate an existing results file instead of re-measuring")
+	allowEnvMismatch := flag.Bool("allow-env-mismatch", false,
+		"compare across differing num_cpu/gomaxprocs/workload_size instead of failing")
 	flag.Parse()
 
 	var rep Report
@@ -81,11 +87,12 @@ func main() {
 		}
 
 		rep = Report{
-			Schema:    "agingcgra-bench/v1",
-			Timestamp: time.Now().UTC().Format(time.RFC3339),
-			GoVersion: runtime.Version(),
-			NumCPU:    runtime.NumCPU(),
-			Size:      *sizeName,
+			Schema:     "agingcgra-bench/v1",
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			NumCPU:     runtime.NumCPU(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Size:       *sizeName,
 		}
 
 		engine, err := benchEngineThroughput(size, *iters)
@@ -144,6 +151,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if mismatches := envMismatches(base, rep); len(mismatches) > 0 {
+			for _, m := range mismatches {
+				fmt.Fprintln(os.Stderr, "cgra-bench: environment mismatch:", m)
+			}
+			if !*allowEnvMismatch {
+				fmt.Fprintln(os.Stderr, "cgra-bench: refusing to gate across differing environments"+
+					" (timings are not comparable); re-baseline on this runner or pass -allow-env-mismatch")
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "cgra-bench: -allow-env-mismatch set, comparing anyway")
+		}
 		if failed := compareReports(base, rep, *threshold); failed {
 			fmt.Fprintf(os.Stderr, "cgra-bench: regression beyond %.0f%% against %s\n",
 				100**threshold, *compare)
@@ -165,6 +183,27 @@ func loadReport(path string) (Report, error) {
 		return Report{}, fmt.Errorf("%s: %w", path, err)
 	}
 	return rep, nil
+}
+
+// envMismatches lists the environment fields on which the two reports
+// disagree. A baseline measured on a different core count, GOMAXPROCS
+// schedule or workload size gates nothing meaningful — a 25% threshold is
+// easily dwarfed by either difference — so -compare fails on any mismatch
+// unless -allow-env-mismatch. GoMaxProcs is only checked when both reports
+// carry it: baselines emitted before the field existed decode as zero and
+// must stay comparable.
+func envMismatches(base, cur Report) []string {
+	var ms []string
+	if base.NumCPU != cur.NumCPU {
+		ms = append(ms, fmt.Sprintf("num_cpu: baseline %d, current %d", base.NumCPU, cur.NumCPU))
+	}
+	if base.GoMaxProcs != 0 && cur.GoMaxProcs != 0 && base.GoMaxProcs != cur.GoMaxProcs {
+		ms = append(ms, fmt.Sprintf("gomaxprocs: baseline %d, current %d", base.GoMaxProcs, cur.GoMaxProcs))
+	}
+	if base.Size != cur.Size {
+		ms = append(ms, fmt.Sprintf("workload_size: baseline %q, current %q", base.Size, cur.Size))
+	}
+	return ms
 }
 
 // compareReports gates the two regression-sensitive metric families: engine

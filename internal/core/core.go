@@ -25,15 +25,30 @@ type Tracker struct {
 	presentExecs []uint64
 	activeCycles uint64
 	totalExecs   uint64
+	// rowBase/colMod are the toroidal index tables of the wrap-around
+	// movement: the physical index of virtual cell (r, c) under pivot
+	// (pr, pc) is rowBase[r+pr] + colMod[c+pc], replacing the two modulo
+	// reductions of Offset.Apply on the per-execution accounting path.
+	rowBase []int
+	colMod  []int
 }
 
 // NewTracker builds a zeroed tracker for the geometry.
 func NewTracker(g fabric.Geometry) *Tracker {
-	return &Tracker{
+	t := &Tracker{
 		geom:         g,
 		stressCycles: make([]uint64, g.NumFUs()),
 		presentExecs: make([]uint64, g.NumFUs()),
+		rowBase:      make([]int, 2*g.Rows),
+		colMod:       make([]int, 2*g.Cols),
 	}
+	for i := range t.rowBase {
+		t.rowBase[i] = (i % g.Rows) * g.Cols
+	}
+	for i := range t.colMod {
+		t.colMod[i] = i % g.Cols
+	}
+	return t
 }
 
 // Geometry returns the tracked fabric geometry.
@@ -42,9 +57,13 @@ func (t *Tracker) Geometry() fabric.Geometry { return t.geom }
 // Record accounts one configuration execution: cells (virtual coordinates)
 // ran at pivot off for the given residency cycles.
 func (t *Tracker) Record(cells []fabric.Cell, off fabric.Offset, cycles uint64) {
+	if uint(off.Row) >= uint(t.geom.Rows) || uint(off.Col) >= uint(t.geom.Cols) {
+		off = fabric.Offset{Row: off.Row % t.geom.Rows, Col: off.Col % t.geom.Cols}
+	}
+	rb := t.rowBase[off.Row:]
+	cm := t.colMod[off.Col:]
 	for _, c := range cells {
-		p := off.Apply(c, t.geom)
-		i := p.Row*t.geom.Cols + p.Col
+		i := rb[c.Row] + cm[c.Col]
 		t.stressCycles[i] += cycles
 		t.presentExecs[i]++
 	}

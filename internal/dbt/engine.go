@@ -14,6 +14,7 @@ package dbt
 
 import (
 	"fmt"
+	"runtime"
 
 	"agingcgra/internal/alloc"
 	"agingcgra/internal/cfgcache"
@@ -22,6 +23,7 @@ import (
 	"agingcgra/internal/gpp"
 	"agingcgra/internal/isa"
 	"agingcgra/internal/mapper"
+	"agingcgra/internal/pscan"
 	recov "agingcgra/internal/recover"
 	"agingcgra/internal/searchcost"
 )
@@ -121,6 +123,14 @@ type Options struct {
 	// shape-adaptive remapper searches). Only consulted when
 	// ShapeTranslations is set.
 	Ladder fabric.ShapeLadder
+	// SearchWorkers bounds the goroutine pool the translation-time ladder
+	// scan fans its rungs out over (<= 0 selects GOMAXPROCS; 1 forces the
+	// serial scan). Any worker count yields byte-identical translations
+	// and searchcost counters: every rung is mapped and counted, and the
+	// reduction picks the winner by (consumed desc, ExecCycles asc, wear
+	// asc, ladder order) in stripe order. Only consulted when
+	// ShapeTranslations is set.
+	SearchWorkers int
 	// Recovery attaches the fault-injection and detection/recovery monitor
 	// (internal/recover). When set, every offload draws fault
 	// manifestations from the monitor's truth maps, sampled offloads are
@@ -701,6 +711,17 @@ func (e *Engine) finalizeTrace() {
 	e.rep.Translations++
 }
 
+// ladderStripe is one stripe's share of the translation-time ladder scan:
+// the stripe-local winner plus the order-invariant probe counter.
+type ladderStripe struct {
+	idx      int // winning rung index, -1 when the stripe holds none
+	cfg      *fabric.Config
+	consumed int
+	cycles   uint64
+	wearY    float64
+	probes   uint64
+}
+
 // translateShapes is the translation-time shape search: the captured trace
 // is mapped once per rung of the shape ladder against the current health
 // mask (identity frame — the allocation layer still chooses the pivot),
@@ -716,22 +737,66 @@ func (e *Engine) finalizeTrace() {
 // (shape × anchor) scan, which remains the backstop for placements the
 // identity-frame mask cannot serve. The scan is counted for the derived
 // search-cost model.
+//
+// Rungs fan out over a bounded goroutine pool (Options.SearchWorkers):
+// every rung is mapped against shared read-only state and classified
+// regardless of evaluation order, per-stripe probe counters are summed in
+// stripe order, and the winner is the lexicographic minimum over
+// (consumed desc, cycles asc, wear asc, rung index) — so translations and
+// counters are byte-identical for every worker count.
 func (e *Engine) translateShapes() (*fabric.Config, int) {
 	e.search.LadderScans++
+	e.search.LadderCandidates += uint64(len(e.shapes))
 	wear := e.ctrl.Wear()
-	var best *fabric.Config
-	bestConsumed := 0
-	var bestCycles uint64
-	bestWear := 0.0
-	for _, shape := range e.shapes {
-		e.search.LadderCandidates++
+	n := len(e.shapes)
+	if n == 0 {
+		return nil, 0
+	}
+	workers := e.opts.SearchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if pscan.Count(n, workers) == 1 {
+		// Serial fast path: no stripe slice or closure per translation.
+		sr := e.scanLadder(wear, 0, n)
+		e.search.LadderProbes += sr.probes
+		return sr.cfg, sr.consumed
+	}
+	stripes := make([]ladderStripe, pscan.Count(n, workers))
+	pscan.Run(n, workers, func(s, lo, hi int) {
+		stripes[s] = e.scanLadder(wear, lo, hi)
+	})
+	best := ladderStripe{idx: -1}
+	for _, sr := range stripes {
+		e.search.LadderProbes += sr.probes
+		if sr.idx < 0 {
+			continue
+		}
+		if best.idx < 0 || sr.consumed > best.consumed ||
+			(sr.consumed == best.consumed && (sr.cycles < best.cycles ||
+				(sr.cycles == best.cycles && (sr.wearY < best.wearY ||
+					(sr.wearY == best.wearY && sr.idx < best.idx))))) {
+			best = sr
+		}
+	}
+	return best.cfg, best.consumed
+}
+
+// scanLadder maps the trace at ladder rungs [lo, hi) and returns the
+// stripe-local winner by (consumed desc, ExecCycles asc, wear asc, rung
+// order). Cycles and wear are evaluated for every mapped rung — there is
+// no running-best gate — so the stripe outcome is a pure function of the
+// rung range and the shared read-only state.
+func (e *Engine) scanLadder(wear *fabric.Wear, lo, hi int) ladderStripe {
+	sr := ladderStripe{idx: -1}
+	for i := lo; i < hi; i++ {
 		cfg, consumed := mapper.Map(e.trace, mapper.Options{
-			Geom:     shape,
+			Geom:     e.shapes[i],
 			Lat:      e.opts.Lat,
 			Disabled: e.disabled,
-			Probes:   &e.search.LadderProbes,
+			Probes:   &sr.probes,
 		})
-		if cfg == nil || consumed < bestConsumed {
+		if cfg == nil {
 			continue
 		}
 		cycles := cfg.ExecCycles()
@@ -743,13 +808,13 @@ func (e *Engine) translateShapes() (*fabric.Config, int) {
 				}
 			}
 		}
-		if best == nil || consumed > bestConsumed ||
-			cycles < bestCycles ||
-			(cycles == bestCycles && wearYears < bestWear) {
-			best, bestConsumed, bestCycles, bestWear = cfg, consumed, cycles, wearYears
+		if sr.idx < 0 || consumed > sr.consumed ||
+			(consumed == sr.consumed && (cycles < sr.cycles ||
+				(cycles == sr.cycles && wearYears < sr.wearY))) {
+			sr.idx, sr.cfg, sr.consumed, sr.cycles, sr.wearY = i, cfg, consumed, cycles, wearYears
 		}
 	}
-	return best, bestConsumed
+	return sr
 }
 
 // profitable projects whether executing cfg on the CGRA beats the GPP.

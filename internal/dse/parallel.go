@@ -77,6 +77,7 @@ func (rc *RefCache) Get(b *prog.Benchmark, size prog.Size, timing gpp.Timing) (G
 			return
 		}
 		e.ref.Cycles, e.ref.Classes, e.err = dbt.RunGPPOnly(c, timing, b.MaxInstructions)
+		c.Release()
 	})
 	return e.ref, e.err
 }
@@ -89,8 +90,14 @@ type Point struct {
 }
 
 // ForEach runs fn(i) for every index in [0, n), fanned out over a worker
-// pool (workers <= 0 selects runtime.NumCPU; 1 forces the serial path,
-// which short-circuits on the first error). On failure the error of the
+// pool (workers <= 0 selects the runnable-CPU bound, runtime.GOMAXPROCS;
+// 1 forces the serial path, which short-circuits on the first error).
+// Resolving the default against GOMAXPROCS rather than NumCPU matters on
+// constrained boxes: a GOMAXPROCS=1 process gains nothing from extra
+// goroutines, so the default collapses to the serial path instead of
+// paying channel and scheduling overhead for zero parallelism (the
+// historical Fig6Sweep "parallel slower than serial" artifact on 1-CPU
+// runners). On failure the error of the
 // lowest-indexed failing call is returned, matching the serial path, and
 // every started call is still driven to completion. A panicking work item
 // does not take down the pool (or, on the parallel path, the whole
@@ -109,7 +116,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		return fn(i)
 	}
 	if workers <= 0 {
-		workers = runtime.NumCPU()
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
@@ -149,8 +156,8 @@ func ForEach(n, workers int, fn func(i int) error) error {
 }
 
 // RunPoints executes the suite on every design point, fanning the points
-// out over opt.Workers goroutines (0 selects runtime.NumCPU; 1 forces the
-// serial path). Results are ordered by point index and identical to running
+// out over opt.Workers goroutines (0 selects runtime.GOMAXPROCS; 1 forces
+// the serial path). Results are ordered by point index and identical to running
 // the points serially; on failure the error of the lowest-indexed failing
 // point is returned, again matching the serial path.
 func RunPoints(points []Point, opt Options) ([]*SuiteResult, error) {

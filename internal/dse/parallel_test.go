@@ -2,6 +2,7 @@ package dse
 
 import (
 	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -133,6 +134,34 @@ func TestForEachRecoversPanics(t *testing.T) {
 					t.Errorf("workers=%d: item %d not driven to completion", workers, i)
 				}
 			}
+		}
+	}
+}
+
+// TestForEachDefaultWorkersFollowsGOMAXPROCS pins the Workers=0 default to
+// runtime.GOMAXPROCS(0), not NumCPU: on a single-slot schedule the default
+// must take the serial loop — in-order, on the caller's goroutine — rather
+// than spawn NumCPU goroutines that time-slice one core and lose to the
+// serial sweep (the Fig6Sweep parallel-slower artifact).
+func TestForEachDefaultWorkersFollowsGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	// Deliberately unsynchronized: legal only if ForEach stays serial.
+	// Under `go test -race` this doubles as a no-goroutines proof.
+	var order []int
+	if err := ForEach(64, 0, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 64 {
+		t.Fatalf("ran %d of 64 items", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("out-of-order execution at %d: got item %d; Workers=0 on GOMAXPROCS=1 must run serial", i, got)
 		}
 	}
 }

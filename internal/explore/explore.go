@@ -15,6 +15,33 @@
 // exactly maximising the time until the next FU crosses the end-of-life
 // threshold.
 //
+// # Incremental projection
+//
+// The projection inputs are maintained as deltas, not recomputed per scan:
+// ObserveStress adjusts only the cells of the committed footprint (the
+// dirty set of one commit is exactly the placement's physical cells), and
+// the cross-epoch wear snapshot is reconciled only when fabric.Wear's
+// version moves — between commits the snapshot is provably clean. The scan
+// itself never evaluates Eq. 1 per cell: a cell's projected stress-years
+// are wearY[i] + stress[i]·(horizon/active), one fused multiply-add against
+// the incrementally maintained tables, and because Eq. 1's ΔVt is strictly
+// increasing in stress-years (it depends on t and u only through t·u), the
+// pivot minimising the maximum projected years is exactly the pivot
+// minimising the maximum projected ΔVt — the model is applied once to the
+// winning maximum instead of once per cell. Ties on the maximum break by
+// the footprint's total projected stress-years, then by row-major pivot
+// order, so the scan stays deterministic.
+//
+// The scan prunes: a candidate whose running maximum already exceeds the
+// best-so-far (seeded from the previously held pivot's score) cannot win
+// and its remaining cells are not scored. Pruning, parallel striping and
+// the incremental tables are simulator-side shortcuts around the *same*
+// argmin; the searchcost counters keep reporting the work the modeled
+// hardware search engine would issue — one projection-table refresh per
+// cell per scan and one score evaluation per cell of every live candidate —
+// so counted work is identical between the pruned/parallel scan and a full
+// serial rescan (the argmin-equals-full-scan property test pins both).
+//
 // Because an exhaustive pivot search per execution would be costly in
 // hardware, the search runs every RecomputeEvery *committed* executions and
 // the chosen pivot is held in between; a health or wear state change forces
@@ -27,20 +54,39 @@
 // (object identity — StartPC alone collides across a mix's programs,
 // which share a text base): a pivot explored for one kernel's footprint
 // is never blindly inherited by another kernel whose footprint it may be
-// wear-suboptimal (or dead-hitting) for. The cost of the scans is no longer asserted
-// cheap: the explorer counts its explorations and per-cell evaluations,
-// and internal/searchcost derives the per-offload overhead from them.
+// wear-suboptimal (or dead-hitting) for. The cost of the scans is no longer
+// asserted cheap: the explorer counts its explorations and per-cell
+// evaluations, and internal/searchcost derives the per-offload overhead
+// from them.
+//
+// # Snapshot consistency
+//
+// Score and ProjectedScore always evaluate against the same incrementally
+// maintained state the pivot scan reads — there is no separately cached
+// per-cell ΔVt table that can go stale between a scan and an external
+// scoring call. The shape-adaptive remapper's reshape comparison and the
+// explorer's own argmin therefore score against the same snapshot by
+// construction; Reproject remains as the explicit synchronisation point
+// callers use before scoring candidates concurrently.
 package explore
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"agingcgra/internal/aging"
 	"agingcgra/internal/alloc"
 	"agingcgra/internal/fabric"
+	"agingcgra/internal/pscan"
 	"agingcgra/internal/searchcost"
 )
+
+// minParallelPivots is the smallest pivot count worth fanning a scan out
+// over goroutines: below it the per-stripe bookkeeping costs more than the
+// scan. The paper's 4x8 fabric always scans serially; the wide sweep
+// geometries cross the threshold.
+const minParallelPivots = 64
 
 // Explorer is the wear-aware placement explorer. It implements
 // alloc.Allocator plus the three feedback interfaces the controller
@@ -55,14 +101,41 @@ type Explorer struct {
 	horizonYears float64
 	// recomputeEvery is the pivot re-exploration period in executions.
 	recomputeEvery uint64
+	// workers bounds the goroutine pool of large pivot scans (<= 0 selects
+	// GOMAXPROCS; 1 forces the serial scan). The scan outcome and the
+	// searchcost counters are identical for every worker count.
+	workers int
 
 	health *fabric.Health
 	wear   *fabric.Wear
 
+	// rowBase/colMod are the toroidal index tables: the physical row-major
+	// index of virtual cell (r, c) under pivot (pr, pc) is
+	// rowBase[r+pr] + colMod[c+pc], replacing two modulo reductions per
+	// cell with two table loads on every scan, commit and score path.
+	rowBase []int
+	colMod  []int
+
 	// Within-run observed stress (physical cells, row-major), fed back by
-	// the controller on every committed execution.
+	// the controller on every committed execution: the delta-updated half
+	// of the incremental projection. One commit dirties exactly the cells
+	// of its footprint.
 	stress []uint64
 	active uint64
+
+	// wearY is the reconciled snapshot of fabric.Wear (stress-years per
+	// physical cell): the cross-epoch half of the incremental projection.
+	// It is refreshed only when the wear version moves (or the map is
+	// swapped), never per scan.
+	wearY    []float64
+	wearSeen uint64
+	wearOld  bool // snapshot must resync regardless of version equality
+	// yProj is the per-scan projection table: yProj[i] = wearY[i] +
+	// stress[i]·k, materialised once per Explore (the modeled hardware's
+	// projection refresh, PivotProjections += NumFUs) so the pivot loop
+	// reads one float per cell instead of recomputing the FMA per
+	// candidate. It is only valid within the Explore call that filled it.
+	yProj []float64
 
 	// count is the number of committed executions observed so far: the
 	// clock the hold period runs on. Allocator proposals (Next calls) do
@@ -75,13 +148,12 @@ type Explorer struct {
 	// lifetime mix and the programs share a text base, so distinct
 	// kernels can collide on a PC while their footprints (and therefore
 	// their pivot argmins and no-live verdicts) differ. The map is never
-	// iterated, so pointer keying stays deterministic.
-	pivots map[*fabric.Config]*pivotState
-
-	// cellVt caches the per-cell projected ΔVt of the last exploration; the
-	// projection depends only on the cell, not on the candidate pivot, so
-	// one pass amortises the Eq. 1 evaluation across the whole pivot scan.
-	cellVt []float64
+	// iterated, so pointer keying stays deterministic. lastCfg/lastSt
+	// short-circuit the map hash for the common case of one configuration
+	// offloading repeatedly (a kernel's inner loop).
+	pivots  map[*fabric.Config]*pivotState
+	lastCfg *fabric.Config
+	lastSt  *pivotState
 
 	// counts tallies the search work for the derived cost model.
 	counts searchcost.Counts
@@ -101,6 +173,9 @@ type pivotState struct {
 	// until the health state changes, so an unplaceable configuration
 	// costs one exploration per fabric state instead of one per proposal.
 	noLive bool
+	// explored marks that off is a real exploration outcome (the zero
+	// state is "never explored", whose zero off must not seed pruning).
+	explored bool
 }
 
 // Option configures the Explorer.
@@ -131,6 +206,15 @@ func WithRecomputeEvery(n int) Option {
 	}
 }
 
+// WithWorkers bounds the goroutine pool large pivot scans fan out over
+// (default 0: GOMAXPROCS; 1 forces serial scans). Any worker count yields
+// byte-identical results and searchcost counters — the reduction is an
+// index-ordered argmin and the counters are order-invariant sums — so the
+// knob trades only wall clock.
+func WithWorkers(n int) Option {
+	return func(e *Explorer) { e.workers = n }
+}
+
 // New builds a wear-aware placement explorer for the geometry.
 func New(g fabric.Geometry, opts ...Option) *Explorer {
 	e := &Explorer{
@@ -138,9 +222,18 @@ func New(g fabric.Geometry, opts ...Option) *Explorer {
 		model:          aging.NewModel(),
 		horizonYears:   1,
 		recomputeEvery: 16,
+		rowBase:        make([]int, 2*g.Rows),
+		colMod:         make([]int, 2*g.Cols),
 		stress:         make([]uint64, g.NumFUs()),
+		wearY:          make([]float64, g.NumFUs()),
+		yProj:          make([]float64, g.NumFUs()),
 		pivots:         make(map[*fabric.Config]*pivotState),
-		cellVt:         make([]float64, g.NumFUs()),
+	}
+	for i := range e.rowBase {
+		e.rowBase[i] = (i % g.Rows) * g.Cols
+	}
+	for i := range e.colMod {
+		e.colMod[i] = i % g.Cols
 	}
 	for _, o := range opts {
 		o(e)
@@ -157,19 +250,57 @@ func (e *Explorer) Name() string {
 func (e *Explorer) SetHealth(h *fabric.Health) { e.health = h }
 
 // SetWear implements alloc.WearSetter.
-func (e *Explorer) SetWear(w *fabric.Wear) { e.wear = w }
+func (e *Explorer) SetWear(w *fabric.Wear) {
+	e.wear = w
+	e.wearOld = true // force a resync: a swapped map may share a version
+}
 
 // ObserveStress implements alloc.StressObserver. Committed executions are
 // also the clock of the pivot hold period: one commit advances the count
 // by one, however many proposals the controller's skip-scan consumed to
-// place it.
+// place it. The update touches exactly the committed footprint's physical
+// cells — the dirty set of the incremental projection — plus the shared
+// active-cycles denominator.
 func (e *Explorer) ObserveStress(cells []fabric.Cell, off fabric.Offset, cycles uint64) {
+	if uint(off.Row) >= uint(e.geom.Rows) || uint(off.Col) >= uint(e.geom.Cols) {
+		off = fabric.Offset{Row: off.Row % e.geom.Rows, Col: off.Col % e.geom.Cols}
+	}
+	rb := e.rowBase[off.Row:]
+	cm := e.colMod[off.Col:]
 	for _, cell := range cells {
-		p := off.Apply(cell, e.geom)
-		e.stress[p.Row*e.geom.Cols+p.Col] += cycles
+		e.stress[rb[cell.Row]+cm[cell.Col]] += cycles
 	}
 	e.active += cycles
 	e.count++
+}
+
+// syncWear reconciles the wear snapshot with fabric.Wear. The snapshot is
+// clean whenever the wear version has not moved, so the reconciliation
+// runs once per cross-epoch wear advance instead of once per scan.
+func (e *Explorer) syncWear() {
+	if e.wear == nil {
+		if e.wearOld {
+			for i := range e.wearY {
+				e.wearY[i] = 0
+			}
+			e.wearOld = false
+		}
+		return
+	}
+	if v := e.wear.Version(); e.wearOld || v != e.wearSeen {
+		e.wearY = e.wear.CopyYears(e.wearY)
+		e.wearSeen = v
+		e.wearOld = false
+	}
+}
+
+// dutyScale returns the per-cycle horizon scaling of the projection: a
+// cell's projected stress-years are wearY + stress·dutyScale.
+func (e *Explorer) dutyScale() float64 {
+	if e.active == 0 {
+		return 0
+	}
+	return e.horizonYears / float64(e.active)
 }
 
 // versions snapshots the observable fabric-state versions (zero when a map
@@ -204,11 +335,16 @@ func (e *Explorer) Next(cfg *fabric.Config) fabric.Offset {
 	if cfg == nil {
 		return fabric.Offset{}
 	}
-	st, ok := e.pivots[cfg]
-	if !ok {
-		st = &pivotState{}
-		e.pivots[cfg] = st
-		st.nextAt = e.count // unexplored: force the first search
+	st := e.lastSt
+	if cfg != e.lastCfg {
+		var ok bool
+		st, ok = e.pivots[cfg]
+		if !ok {
+			st = &pivotState{}
+			e.pivots[cfg] = st
+			st.nextAt = e.count // unexplored: force the first search
+		}
+		e.lastCfg, e.lastSt = cfg, st
 	}
 	healthVer, wearVer := e.versions()
 	stale := st.healthVer != healthVer || st.wearVer != wearVer
@@ -233,6 +369,7 @@ func (e *Explorer) Next(cfg *fabric.Config) fabric.Offset {
 		}
 		st.healthVer, st.wearVer = healthVer, wearVer
 		st.off = e.Explore(cfg)
+		st.explored = true
 		st.nextAt = e.count + e.recomputeEvery
 		st.noLive = e.health != nil && e.health.DeadCount() > 0 &&
 			!e.health.PlacementOK(cfg.Cells(), st.off)
@@ -240,101 +377,275 @@ func (e *Explorer) Next(cfg *fabric.Config) fabric.Offset {
 	return st.off
 }
 
-// projectCells fills cellVt with each physical cell's projected ΔVt:
-// accumulated cross-epoch stress-years plus the within-run duty footprint
-// extended over the horizon, evaluated under Eq. 1. The projection is a
-// per-cell property — candidate pivots only decide *which* cells the
-// configuration stresses next — so it is computed once per exploration.
-func (e *Explorer) projectCells() {
-	for r := 0; r < e.geom.Rows; r++ {
-		for c := 0; c < e.geom.Cols; c++ {
-			i := r*e.geom.Cols + c
-			years := 0.0
-			if e.wear != nil {
-				years = e.wear.YearsAt(fabric.Cell{Row: r, Col: c})
-			}
-			if e.active > 0 {
-				duty := float64(e.stress[i]) / float64(e.active)
-				years += duty * e.horizonYears
-			}
-			// Eq. 1 depends on t and u only through t·u, so stress-years at
-			// u=1 give the cell's ΔVt directly.
-			e.cellVt[i] = e.model.Cond.DeltaVt(years, 1)
-		}
-	}
+// stripeResult is one stripe's share of a pivot scan: the stripe-local
+// argmin plus the order-invariant work counter.
+type stripeResult struct {
+	idx  int // winning pivot index, -1 when the stripe holds no live pivot
+	maxY float64
+	sumY float64
+	// cells is the stripe's live-candidate score evaluations: len(cells)
+	// for every fully-live pivot, pruned or not, exactly what a full
+	// serial rescan would count.
+	cells uint64
 }
 
 // Explore scans every pivot and returns the live placement minimising the
-// maximum projected ΔVt over the cells the configuration would occupy; ties
-// break by total projected ΔVt, then by row-major pivot order for
-// determinism. Pivots whose placement would drive a dead FU are excluded;
-// when no live placement exists the zero offset is returned and the
-// controller's own health check rejects the offload (GPP fallback).
+// maximum projected ΔVt over the cells the configuration would occupy.
+// Because ΔVt is strictly increasing in projected stress-years, the scan
+// ranks candidates on years directly; ties on the maximum break by the
+// footprint's total projected stress-years, then by row-major pivot order
+// for determinism. Pivots whose placement would drive a dead FU are
+// excluded; when no live placement exists the zero offset is returned and
+// the controller's own health check rejects the offload (GPP fallback).
+//
+// The scan seeds its pruning bound with the previously held pivot's score
+// and fans out over a bounded goroutine pool on large fabrics; neither
+// changes the argmin (pruning only discards candidates whose running
+// maximum is already strictly worse, and the parallel reduction is an
+// index-ordered argmin over stripe results), and the searchcost counters
+// are order-invariant sums, so serial, pruned and parallel scans are
+// byte-identical in outcome and counted work.
 func (e *Explorer) Explore(cfg *fabric.Config) fabric.Offset {
-	e.projectCells()
+	e.syncWear()
 	cells := cfg.Cells()
-	checkHealth := e.health != nil && e.health.DeadCount() > 0
-	best := fabric.Offset{}
-	bestMax := math.Inf(1)
-	bestSum := math.Inf(1)
-	found := false
+	var dead []bool
+	if e.health != nil && e.health.DeadCount() > 0 {
+		dead = e.health.DeadMask()
+	}
+	k := e.dutyScale()
 	e.counts.PivotScans++
 	e.counts.PivotProjections += uint64(e.geom.NumFUs())
-	for r := 0; r < e.geom.Rows; r++ {
-		for c := 0; c < e.geom.Cols; c++ {
-			off := fabric.Offset{Row: r, Col: c}
-			if checkHealth && !e.health.PlacementOK(cells, off) {
-				continue
-			}
-			e.counts.PivotCells += uint64(len(cells))
-			maxVt, sumVt := e.scoreProjected(cells, off)
-			if !found || maxVt < bestMax || (maxVt == bestMax && sumVt < bestSum) {
-				best, bestMax, bestSum, found = off, maxVt, sumVt, true
-			}
+	for i, w := range e.wearY {
+		e.yProj[i] = w + float64(e.stress[i])*k
+	}
+
+	// Seed the pruning bound with the held pivot's current score: in
+	// steady state the argmin moves slowly, so most candidates abort on
+	// their first cell worse than the incumbent.
+	seed := math.Inf(1)
+	st := e.lastSt
+	if cfg != e.lastCfg {
+		st = e.pivots[cfg]
+	}
+	if st != nil && st.explored {
+		if maxY, _, live := e.scoreYears(cells, st.off, dead, k); live {
+			seed = maxY
 		}
+	}
+
+	n := e.geom.NumFUs()
+	workers := e.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n < minParallelPivots {
+		workers = 1
+	}
+	if pscan.Count(n, workers) == 1 {
+		// Serial fast path: the common small-fabric case pays no stripe
+		// slice, closure or reduction — one direct scan per exploration.
+		sr := e.scanPivots(cells, dead, seed, 0, n)
+		e.counts.PivotCells += sr.cells
+		if sr.idx < 0 {
+			return fabric.Offset{}
+		}
+		return fabric.Offset{Row: sr.idx / e.geom.Cols, Col: sr.idx % e.geom.Cols}
+	}
+	stripes := make([]stripeResult, pscan.Count(n, workers))
+	pscan.Run(n, workers, func(s, lo, hi int) {
+		stripes[s] = e.scanPivots(cells, dead, seed, lo, hi)
+	})
+
+	best := fabric.Offset{}
+	bestIdx := -1
+	bestMax, bestSum := math.Inf(1), math.Inf(1)
+	for _, sr := range stripes {
+		e.counts.PivotCells += sr.cells
+		if sr.idx < 0 {
+			continue
+		}
+		if bestIdx < 0 || sr.maxY < bestMax ||
+			(sr.maxY == bestMax && (sr.sumY < bestSum ||
+				(sr.sumY == bestSum && sr.idx < bestIdx))) {
+			bestIdx, bestMax, bestSum = sr.idx, sr.maxY, sr.sumY
+		}
+	}
+	if bestIdx >= 0 {
+		best = fabric.Offset{Row: bestIdx / e.geom.Cols, Col: bestIdx % e.geom.Cols}
 	}
 	return best
 }
 
-// scoreProjected evaluates one candidate against the cached projection.
-func (e *Explorer) scoreProjected(cells []fabric.Cell, off fabric.Offset) (maxVt, sumVt float64) {
-	for _, cell := range cells {
-		p := off.Apply(cell, e.geom)
-		vt := e.cellVt[p.Row*e.geom.Cols+p.Col]
-		if vt > maxVt {
-			maxVt = vt
-		}
-		sumVt += vt
+// scanPivots evaluates the pivot index range [lo, hi) and returns the
+// stripe-local argmin by (max projected years, total projected years,
+// row-major order). seed bounds the pruning from the start; the bound then
+// tightens to the stripe's own best. A pruned candidate still completes
+// its liveness walk so the counted work stays that of the full rescan.
+func (e *Explorer) scanPivots(cells []fabric.Cell, dead []bool, seed float64, lo, hi int) stripeResult {
+	if dead == nil {
+		return e.scanPivotsHealthy(cells, seed, lo, hi)
 	}
-	return maxVt, sumVt
+	sr := stripeResult{idx: -1, maxY: math.Inf(1), sumY: math.Inf(1)}
+	thr := seed
+	cols := e.geom.Cols
+	yProj := e.yProj
+	pr, pc := lo/cols, lo%cols
+	for p := lo; p < hi; p++ {
+		rb := e.rowBase[pr:]
+		cm := e.colMod[pc:]
+		if pc++; pc == cols {
+			pc = 0
+			pr++
+		}
+		maxY, sumY := 0.0, 0.0
+		live, pruned := true, false
+		for ci := 0; ci < len(cells); ci++ {
+			cell := cells[ci]
+			idx := rb[cell.Row] + cm[cell.Col]
+			if dead[idx] {
+				live = false
+				break
+			}
+			y := yProj[idx]
+			sumY += y
+			if y > maxY {
+				maxY = y
+				if y > thr {
+					// Cannot win: the final maximum is at least y. Finish
+					// the liveness walk so the pivot is classified — and
+					// counted — exactly as a full scan would.
+					pruned = true
+					for _, c2 := range cells[ci+1:] {
+						if dead[rb[c2.Row]+cm[c2.Col]] {
+							live = false
+							break
+						}
+					}
+					break
+				}
+			}
+		}
+		if !live {
+			continue
+		}
+		sr.cells += uint64(len(cells))
+		if pruned {
+			continue
+		}
+		if sr.idx < 0 || maxY < sr.maxY || (maxY == sr.maxY && sumY < sr.sumY) {
+			sr.idx, sr.maxY, sr.sumY = p, maxY, sumY
+			if maxY < thr {
+				thr = maxY
+			}
+		}
+	}
+	return sr
+}
+
+// scanPivotsHealthy is scanPivots for a fully-live fabric: every pivot is a
+// live candidate, so the dead checks, the liveness walk after a prune and
+// the per-pivot live classification all drop out of the inner loop. The
+// steady-state scan (no failures yet) spends most of the simulation here.
+func (e *Explorer) scanPivotsHealthy(cells []fabric.Cell, seed float64, lo, hi int) stripeResult {
+	sr := stripeResult{idx: -1, maxY: math.Inf(1), sumY: math.Inf(1)}
+	thr := seed
+	cols := e.geom.Cols
+	yProj := e.yProj
+	pr, pc := lo/cols, lo%cols
+	for p := lo; p < hi; p++ {
+		rb := e.rowBase[pr:]
+		cm := e.colMod[pc:]
+		if pc++; pc == cols {
+			pc = 0
+			pr++
+		}
+		maxY, sumY := 0.0, 0.0
+		pruned := false
+		for _, cell := range cells {
+			idx := rb[cell.Row] + cm[cell.Col]
+			y := yProj[idx]
+			sumY += y
+			if y > maxY {
+				maxY = y
+				if y > thr {
+					pruned = true
+					break
+				}
+			}
+		}
+		if pruned {
+			continue
+		}
+		if sr.idx < 0 || maxY < sr.maxY || (maxY == sr.maxY && sumY < sr.sumY) {
+			sr.idx, sr.maxY, sr.sumY = p, maxY, sumY
+			if maxY < thr {
+				thr = maxY
+			}
+		}
+	}
+	sr.cells = uint64(hi-lo) * uint64(len(cells))
+	return sr
+}
+
+// scoreYears evaluates one candidate: the maximum and total projected
+// stress-years over the footprint, and whether the placement is live.
+func (e *Explorer) scoreYears(cells []fabric.Cell, off fabric.Offset, dead []bool, k float64) (maxY, sumY float64, live bool) {
+	if uint(off.Row) >= uint(e.geom.Rows) || uint(off.Col) >= uint(e.geom.Cols) {
+		off = fabric.Offset{Row: off.Row % e.geom.Rows, Col: off.Col % e.geom.Cols}
+	}
+	rb := e.rowBase[off.Row:]
+	cm := e.colMod[off.Col:]
+	for _, cell := range cells {
+		idx := rb[cell.Row] + cm[cell.Col]
+		if dead != nil && dead[idx] {
+			return 0, 0, false
+		}
+		y := e.wearY[idx] + float64(e.stress[idx])*k
+		sumY += y
+		if y > maxY {
+			maxY = y
+		}
+	}
+	return maxY, sumY, true
 }
 
 // Score returns the maximum projected ΔVt of placing cfg at off under the
 // explorer's current state: the objective Explore minimises. Exposed so
 // tests (and diagnostics) can compare the explorer's choice against
-// alternatives such as the skip-scan fallback it replaces.
+// alternatives such as the skip-scan fallback it replaces. ΔVt is strictly
+// increasing in projected stress-years, so evaluating Eq. 1 once on the
+// footprint's worst cell equals the maximum of per-cell evaluations.
 func (e *Explorer) Score(cfg *fabric.Config, off fabric.Offset) float64 {
-	e.projectCells()
+	e.syncWear()
 	return e.ProjectedScore(cfg, off)
 }
 
-// Reproject refreshes the per-cell ΔVt projection table ProjectedScore
-// evaluates against. Callers scoring many candidates under one fabric
-// state (the shape-adaptive remapper's (shape × anchor) search) pay the
-// Eq. 1 pass once here instead of once per Score call.
-func (e *Explorer) Reproject() { e.projectCells() }
+// Reproject synchronises the projection state external scorers evaluate
+// against (the wear snapshot reconciliation). Callers scoring many
+// candidates under one fabric state — the shape-adaptive remapper's
+// (shape × anchor) search, possibly from several goroutines — synchronise
+// once here; ProjectedScore is then a pure read.
+func (e *Explorer) Reproject() { e.syncWear() }
 
-// ProjectedScore evaluates one candidate against the last projection
-// (see Reproject); Score is Reproject followed by ProjectedScore.
+// ProjectedScore evaluates one candidate against the incrementally
+// maintained projection state (see Reproject); Score is Reproject followed
+// by ProjectedScore. Unlike the pre-incremental explorer there is no
+// separately cached ΔVt table to go stale: every call scores the same
+// snapshot the pivot scan reads.
 func (e *Explorer) ProjectedScore(cfg *fabric.Config, off fabric.Offset) float64 {
-	maxVt, _ := e.scoreProjected(cfg.Cells(), off)
-	return maxVt
+	maxY, _, _ := e.scoreYears(cfg.Cells(), off, nil, e.dutyScale())
+	return e.model.Cond.DeltaVt(maxY, 1)
 }
 
 // SearchCounts implements searchcost.Instrumented: the accumulated pivot
 // scans, per-cell score evaluations and projection refreshes the derived
-// cost model prices. Explorations counts full scans directly — the number
-// the hold-period regression tests pin.
+// cost model prices. The counters report the work the modeled hardware
+// search engine would issue — a full projection refresh per scan and one
+// evaluation per cell of every live candidate — invariant to the
+// simulator's pruning, memoization and parallel striping, so serial and
+// parallel runs of one scenario produce identical Counts. Explorations
+// counts full scans directly — the number the hold-period regression
+// tests pin.
 func (e *Explorer) SearchCounts() searchcost.Counts { return e.counts }
 
 // Explorations returns how many full pivot scans ran so far.

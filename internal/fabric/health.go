@@ -117,6 +117,13 @@ func (h *Health) DeadCells() []Cell {
 // decisions use it to invalidate their caches.
 func (h *Health) Version() uint64 { return h.version }
 
+// DeadMask exposes the row-major liveness bitmap for read-only scanning:
+// hot placement scans index it directly instead of paying a bounds check
+// and index computation per Dead call. The slice aliases the health map's
+// state — callers must not modify it, and must not hold it across
+// mutations they cannot observe (Version guards that).
+func (h *Health) DeadMask() []bool { return h.dead }
+
 // PlacementOK reports whether shifting a configuration occupying the given
 // virtual cells by off would keep every op on a live FU.
 func (h *Health) PlacementOK(cells []Cell, off Offset) bool {

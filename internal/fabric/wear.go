@@ -68,6 +68,19 @@ func (w *Wear) Max() (float64, Cell) {
 // exactly like Health.Version.
 func (w *Wear) Version() uint64 { return w.version }
 
+// CopyYears copies the per-cell stress-years (row-major) into dst, growing
+// it as needed, and returns the filled slice. Incremental scorers snapshot
+// the map through it once per version move instead of calling YearsAt per
+// cell per scan.
+func (w *Wear) CopyYears(dst []float64) []float64 {
+	if cap(dst) < len(w.years) {
+		dst = make([]float64, len(w.years))
+	}
+	dst = dst[:len(w.years)]
+	copy(dst, w.years)
+	return dst
+}
+
 // String summarises the map for debugging.
 func (w *Wear) String() string {
 	max, cell := w.Max()

@@ -50,6 +50,15 @@ func New(p *isa.Program) *Core {
 // Program returns the loaded program.
 func (c *Core) Program() *isa.Program { return c.prog }
 
+// Release returns the core's memory to the pool once the caller is done
+// with the architectural state. The core must not be used afterwards.
+func (c *Core) Release() {
+	if c.Mem != nil {
+		c.Mem.Release()
+		c.Mem = nil
+	}
+}
+
 // Halted reports whether the core has executed ecall.
 func (c *Core) Halted() bool { return c.halted }
 

@@ -763,6 +763,13 @@ func runEpoch(sc *Scenario, health *fabric.Health, wear *fabric.Wear, mon *recov
 		if err := b.Check(ct.Mem, ct.Regs[isa.A0], sc.Size); err != nil {
 			return nil, fmt.Errorf("%s wrong result on degraded fabric: %w", name, err)
 		}
+		// Recycling the core's memory through the pool is invisible to the
+		// epoch memo: the memo key is the observed fabric state (health,
+		// wear, faults, monitor versions), never anything reachable from
+		// the core, and a pooled memory is scrubbed back to zero before
+		// reuse — a memoized epoch and a re-simulated one read identical
+		// initial memory.
+		ct.Release()
 
 		run.gppCycles += ref.Cycles
 		run.trCycles += rep.TotalCycles

@@ -7,6 +7,8 @@
 package mapper
 
 import (
+	"sync"
+
 	"agingcgra/internal/fabric"
 	"agingcgra/internal/isa"
 )
@@ -66,6 +68,7 @@ func Map(trace []TraceEntry, opt Options) (*fabric.Config, int) {
 		return nil, 0
 	}
 	s := newPlaceState(opt)
+	defer s.release()
 	var ops []fabric.PlacedOp
 	usedCols := 0
 
@@ -94,14 +97,6 @@ func Map(trace []TraceEntry, opt Options) (*fabric.Config, int) {
 	}, consumed
 }
 
-// valueID identifies a value travelling on context lines: either a live-in
-// register or the result of a placed op.
-type valueID struct {
-	liveIn bool
-	reg    isa.Reg // for live-ins
-	op     int     // producing op sequence index otherwise
-}
-
 type liveValue struct {
 	endCol  int // column from which the value is available
 	lastUse int // highest consumer start column so far
@@ -110,11 +105,38 @@ type liveValue struct {
 	// line only at the boundaries where they are actually consumed, not
 	// end-to-end. Live-ins and translation-time constants qualify.
 	injectable bool
-	// injected records the boundaries already counted for an injectable
-	// value, so two consumers at one column share the line.
-	injected map[int]bool
+	// injectedLow/injectedHigh record the boundaries already counted for an
+	// injectable value, so two consumers at one column share the line. The
+	// bitmask covers boundaries below 64 — every fabric in the sweep space —
+	// with a lazily allocated map behind it for wider geometries.
+	injectedLow  uint64
+	injectedHigh map[int]bool
 }
 
+func (v *liveValue) isInjected(b int) bool {
+	if b < 64 {
+		return v.injectedLow&(1<<uint(b)) != 0
+	}
+	return v.injectedHigh[b]
+}
+
+func (v *liveValue) setInjected(b int) {
+	if b < 64 {
+		v.injectedLow |= 1 << uint(b)
+		return
+	}
+	if v.injectedHigh == nil {
+		v.injectedHigh = make(map[int]bool)
+	}
+	v.injectedHigh[b] = true
+}
+
+// placeState is the mapper's working state. It is pooled and reused across
+// Map calls: the shape searches run Map once per (shape × anchor) candidate,
+// and a fresh pair of maps plus five slices per probe dominated the
+// allocation profile of the translation-time ladder. Values live in an
+// arena slice indexed through a fixed register file, so placement does no
+// map operations at all on fabrics narrower than 64 columns.
 type placeState struct {
 	opt  Options
 	rows int
@@ -125,9 +147,10 @@ type placeState struct {
 	writePort []bool // data-cache write port per column
 
 	// regValue maps each architectural register to the value currently
-	// holding it within the configuration.
-	regValue map[isa.Reg]valueID
-	values   map[valueID]*liveValue
+	// holding it within the configuration: an index+1 into the values
+	// arena, 0 when the register has not been seen yet.
+	regValue [isa.NumRegs]int32
+	values   []liveValue
 	crossing []int // live values crossing each column boundary
 
 	lastStoreEnd  int // loads/stores may not start before this
@@ -135,39 +158,65 @@ type placeState struct {
 	lastBranchEnd int // stores may not start before this (non-speculative)
 }
 
+var statePool = sync.Pool{New: func() any { return new(placeState) }}
+
 func newPlaceState(opt Options) *placeState {
 	g := opt.Geom
-	return &placeState{
-		opt:       opt,
-		rows:      g.Rows,
-		cols:      g.Cols,
-		occ:       make([]bool, g.Rows*g.Cols),
-		readPort:  make([]bool, g.Cols),
-		writePort: make([]bool, g.Cols),
-		regValue:  make(map[isa.Reg]valueID),
-		values:    make(map[valueID]*liveValue),
-		crossing:  make([]int, g.Cols+1),
+	s := statePool.Get().(*placeState)
+	s.opt = opt
+	s.rows, s.cols = g.Rows, g.Cols
+	s.occ = resetBools(s.occ, g.Rows*g.Cols)
+	s.readPort = resetBools(s.readPort, g.Cols)
+	s.writePort = resetBools(s.writePort, g.Cols)
+	s.regValue = [isa.NumRegs]int32{}
+	s.values = s.values[:0]
+	if cap(s.crossing) < g.Cols+1 {
+		s.crossing = make([]int, g.Cols+1)
+	} else {
+		s.crossing = s.crossing[:g.Cols+1]
+		clear(s.crossing)
 	}
+	s.lastStoreEnd, s.lastMemEnd, s.lastBranchEnd = 0, 0, 0
+	return s
+}
+
+// release returns the state to the pool. Nothing in it is referenced by the
+// produced Config — PlacedOps carry their own data — so reuse is safe.
+func (s *placeState) release() {
+	s.opt = Options{} // drop the Disabled closure and Probes pointer
+	statePool.Put(s)
+}
+
+func resetBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}
+
+// newValue appends a value to the arena and binds register r to it.
+func (s *placeState) newValue(r isa.Reg, v liveValue) {
+	s.values = append(s.values, v)
+	s.regValue[r] = int32(len(s.values))
 }
 
 // sourceValue resolves the value feeding register r, registering a live-in
-// on first use.
-func (s *placeState) sourceValue(r isa.Reg) (valueID, *liveValue) {
+// on first use. The zero register is a constant and never travels on a
+// line; it resolves to nil.
+func (s *placeState) sourceValue(r isa.Reg) *liveValue {
 	if r == isa.X0 {
-		// The zero register is a constant; it never travels on a line.
-		return valueID{}, nil
+		return nil
 	}
-	id, ok := s.regValue[r]
-	if !ok {
-		id = valueID{liveIn: true, reg: r}
-		s.regValue[r] = id
-		if _, exists := s.values[id]; !exists {
-			// Live-ins are fed by the input context: available at column 0,
-			// injectable at any column via the wrap-around 2:1 mux.
-			s.values[id] = &liveValue{endCol: 0, lastUse: -1, injectable: true}
-		}
+	id := s.regValue[r]
+	if id == 0 {
+		// Live-ins are fed by the input context: available at column 0,
+		// injectable at any column via the wrap-around 2:1 mux.
+		s.newValue(r, liveValue{endCol: 0, lastUse: -1, injectable: true})
+		id = s.regValue[r]
 	}
-	return id, s.values[id]
+	return &s.values[id-1]
 }
 
 // earliestCol returns the first column the entry may start at, from data,
@@ -175,12 +224,12 @@ func (s *placeState) sourceValue(r isa.Reg) (valueID, *liveValue) {
 func (s *placeState) earliestCol(in isa.Inst) int {
 	c := 0
 	if in.ReadsRs1() {
-		if _, v := s.sourceValue(in.Rs1); v != nil && v.endCol > c {
+		if v := s.sourceValue(in.Rs1); v != nil && v.endCol > c {
 			c = v.endCol
 		}
 	}
 	if in.ReadsRs2() {
-		if _, v := s.sourceValue(in.Rs2); v != nil && v.endCol > c {
+		if v := s.sourceValue(in.Rs2); v != nil && v.endCol > c {
 			c = v.endCol
 		}
 	}
@@ -204,6 +253,15 @@ func (s *placeState) earliestCol(in isa.Inst) int {
 // occupy the consumer's own boundary; produced values occupy every
 // boundary from their producer to the consumer.
 func (s *placeState) ctxFits(in isa.Inst, col int, commit bool) bool {
+	// Register both source values up front: exts holds pointers into the
+	// values arena, and a live-in registration appends to it — resolving
+	// first keeps the pointers stable while they are held.
+	if in.ReadsRs1() {
+		s.sourceValue(in.Rs1)
+	}
+	if in.ReadsRs2() {
+		s.sourceValue(in.Rs2)
+	}
 	// Gather per-boundary increments from both sources (a value used twice
 	// still occupies one line).
 	type ext struct {
@@ -216,7 +274,7 @@ func (s *placeState) ctxFits(in isa.Inst, col int, commit bool) bool {
 		if r == isa.X0 {
 			return
 		}
-		_, v := s.sourceValue(r)
+		v := s.sourceValue(r)
 		if v == nil {
 			return
 		}
@@ -227,7 +285,7 @@ func (s *placeState) ctxFits(in isa.Inst, col int, commit bool) bool {
 			}
 		}
 		if v.injectable {
-			if !v.injected[col] {
+			if !v.isInjected(col) {
 				exts[n] = ext{v: v, from: col, to: col}
 				n++
 			}
@@ -273,10 +331,7 @@ func (s *placeState) ctxFits(in isa.Inst, col int, commit bool) bool {
 			exts[i].v.lastUse = exts[i].to
 		}
 		if exts[i].v.injectable {
-			if exts[i].v.injected == nil {
-				exts[i].v.injected = make(map[int]bool)
-			}
-			exts[i].v.injected[exts[i].to] = true
+			exts[i].v.setInjected(exts[i].to)
 		}
 	}
 	return true
@@ -298,9 +353,7 @@ func (s *placeState) place(seq int, e TraceEntry) (fabric.PlacedOp, bool) {
 		// Direct jump: no FU. The link value is a translation-time
 		// constant, injected through the input context like a live-in.
 		if in.WritesRd() {
-			id := valueID{op: seq}
-			s.values[id] = &liveValue{endCol: 0, lastUse: -1, injectable: true}
-			s.regValue[in.Rd] = id
+			s.newValue(in.Rd, liveValue{endCol: 0, lastUse: -1, injectable: true})
 		}
 		return fabric.PlacedOp{
 			Seq: seq, PC: e.PC, Inst: in, Taken: e.Taken, Width: 0,
@@ -406,8 +459,6 @@ func (s *placeState) commit(seq int, in isa.Inst, row, col, width int) {
 		}
 	}
 	if in.WritesRd() {
-		id := valueID{op: seq}
-		s.values[id] = &liveValue{endCol: end, lastUse: -1}
-		s.regValue[in.Rd] = id
+		s.newValue(in.Rd, liveValue{endCol: end, lastUse: -1})
 	}
 }

@@ -1,0 +1,67 @@
+// Package pscan is the bounded-worker scan primitive shared by the
+// allocation stack's searches: the explorer's pivot scan, the remapper's
+// (shape × anchor) rescue scan and the DBT's translation-time shape
+// ladder. It partitions an index space into contiguous stripes and runs
+// one worker per stripe.
+//
+// Determinism is the caller's contract, and the striping is designed so it
+// is easy to honour: stripe boundaries are a pure function of (n, workers),
+// every index is evaluated exactly once, and the caller reduces per-stripe
+// results in stripe order after Run returns. A caller whose per-index
+// evaluation is independent of evaluation order (scores computed from
+// shared read-only state, counters summed per stripe) therefore produces
+// byte-identical results and counters for every worker count, including
+// the serial path — the property the allocation searches' serial==parallel
+// pins rely on.
+package pscan
+
+import "sync"
+
+// Count returns the number of stripes Run will use for n items over the
+// requested worker bound: callers size their per-stripe result slices with
+// it before fanning out.
+func Count(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return 1
+	}
+	return workers
+}
+
+// Run partitions [0, n) into Count(n, workers) contiguous stripes and
+// calls fn(stripe, lo, hi) once per stripe — synchronously on the caller's
+// goroutine when a single stripe results (the serial fast path pays no
+// goroutine or channel overhead), concurrently on one goroutine per stripe
+// otherwise. Run returns once every stripe completed.
+func Run(n, workers int, fn func(stripe, lo, hi int)) {
+	stripes := Count(n, workers)
+	if stripes == 0 {
+		return
+	}
+	if stripes == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	base, rem := n/stripes, n%stripes
+	lo := 0
+	for s := 0; s < stripes; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		hi := lo + size
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}

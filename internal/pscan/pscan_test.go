@@ -1,0 +1,87 @@
+package pscan
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCount(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{0, 4, 0},
+		{-3, 4, 0},
+		{10, 0, 1},
+		{10, -1, 1},
+		{10, 1, 1},
+		{10, 4, 4},
+		{3, 8, 3}, // never more stripes than items
+		{1, 8, 1}, // single item is the serial path
+		{10, 10, 10},
+	}
+	for _, c := range cases {
+		if got := Count(c.n, c.workers); got != c.want {
+			t.Errorf("Count(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestRunCoversEveryIndexOnce is the determinism contract's foundation:
+// for any (n, workers), the stripes are contiguous, ordered by stripe
+// index, and partition [0, n) exactly — every index evaluated once.
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for n := 0; n <= 33; n++ {
+		for workers := -1; workers <= 9; workers++ {
+			var mu sync.Mutex
+			type stripe struct{ lo, hi int }
+			seen := make(map[int]stripe)
+			hits := make([]int, n)
+			Run(n, workers, func(s, lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				seen[s] = stripe{lo, hi}
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+			})
+			if want := Count(n, workers); len(seen) != want {
+				t.Fatalf("n=%d workers=%d: %d stripes ran, Count says %d", n, workers, len(seen), want)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d evaluated %d times", n, workers, i, h)
+				}
+			}
+			// Stripes must be contiguous in stripe order so a caller's
+			// in-order reduction visits indices ascending.
+			lo := 0
+			for s := 0; s < len(seen); s++ {
+				st, ok := seen[s]
+				if !ok {
+					t.Fatalf("n=%d workers=%d: stripe %d never ran", n, workers, s)
+				}
+				if st.lo != lo || st.hi < st.lo {
+					t.Fatalf("n=%d workers=%d: stripe %d is [%d,%d), expected lo %d", n, workers, s, st.lo, st.hi, lo)
+				}
+				lo = st.hi
+			}
+			if n > 0 && lo != n {
+				t.Fatalf("n=%d workers=%d: stripes end at %d", n, workers, lo)
+			}
+		}
+	}
+}
+
+// TestRunSerialPathStaysOnCallerGoroutine pins the single-stripe fast
+// path: with one stripe the callback runs synchronously, so callers may
+// touch caller-local state without synchronization.
+func TestRunSerialPathStaysOnCallerGoroutine(t *testing.T) {
+	calls := 0 // unsynchronized on purpose; -race proves the contract
+	Run(100, 1, func(s, lo, hi int) {
+		if s != 0 || lo != 0 || hi != 100 {
+			t.Fatalf("serial stripe = (%d, %d, %d)", s, lo, hi)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Fatalf("serial path ran %d times", calls)
+	}
+}

@@ -30,26 +30,44 @@
 // change which the scoring prefers, and both invalidate wholesale. The
 // scans this costs are counted and priced by the derived hardware-cost
 // model in internal/searchcost.
+//
+// The rescue scan fans out over a bounded goroutine pool (WithWorkers):
+// candidates stripe by flattened (shape, anchor) index and the reduction
+// is an index-ordered argmin, so any worker count returns the identical
+// placement. Every viable candidate is mapped, counted and scored — no
+// running-best gate short-circuits the per-candidate work — which keeps
+// the searchcost counters sums over a fixed candidate set, byte-identical
+// between serial and parallel runs.
 package remap
 
 import (
+	"runtime"
+
 	"agingcgra/internal/alloc"
 	"agingcgra/internal/cfgcache"
 	"agingcgra/internal/explore"
 	"agingcgra/internal/fabric"
 	"agingcgra/internal/mapper"
+	"agingcgra/internal/pscan"
 	"agingcgra/internal/searchcost"
 )
+
+// minParallelCandidates is the smallest (shape × anchor) candidate count
+// worth fanning the rescue scan out over goroutines; each candidate runs a
+// full mapper placement, so the threshold is much lower than the explorer's
+// per-pivot one.
+const minParallelCandidates = 16
 
 // Remapper is the shape-adaptive allocator. It implements alloc.Allocator
 // (delegating the healthy-path pivot choice to the wear-aware explorer),
 // the controller feedback interfaces, and alloc.ConfigRemapper.
 type Remapper struct {
-	geom   fabric.Geometry
-	lat    fabric.LatencyTable
-	ex     *explore.Explorer
-	minOps int
-	shapes []fabric.Geometry
+	geom    fabric.Geometry
+	lat     fabric.LatencyTable
+	ex      *explore.Explorer
+	minOps  int
+	shapes  []fabric.Geometry
+	workers int
 
 	health *fabric.Health
 	wear   *fabric.Wear
@@ -107,6 +125,16 @@ func WithLadder(l fabric.ShapeLadder) Option {
 // explorer (projection horizon, recompute period, NBTI model).
 func WithExplorerOptions(opts ...explore.Option) Option {
 	return func(m *Remapper) { m.ex = explore.New(m.geom, opts...) }
+}
+
+// WithWorkers bounds the goroutine pool the rescue scan fans its
+// (shape × anchor) candidates out over (default 0: GOMAXPROCS; 1 forces
+// the serial scan). Any worker count yields byte-identical results and
+// searchcost counters: every viable candidate is mapped, counted and
+// scored regardless of evaluation order, and the reduction picks the
+// winner by (consumed desc, score asc, candidate index) in stripe order.
+func WithWorkers(n int) Option {
+	return func(m *Remapper) { m.workers = n }
 }
 
 // New builds a shape-adaptive remapper for the physical geometry.
@@ -277,11 +305,33 @@ func (m *Remapper) RemapConfig(cfg *fabric.Config, off fabric.Offset, placed boo
 	return entry.Cfg, entry.Off, entry.OK
 }
 
+// searchStripe is one stripe's share of the rescue scan: the stripe-local
+// winner plus the order-invariant work counters.
+type searchStripe struct {
+	idx      int // winning candidate index, -1 when the stripe holds none
+	consumed int
+	score    float64
+	cfg      *fabric.Config
+	off      fabric.Offset
+	probes   uint64
+	cells    uint64
+}
+
 // search scans every candidate (shape × anchor), keeping the placement
 // that holds the longest prefix of the sequence and, among equally long
 // ones, minimises the explorer's projected worst-cell ΔVt. Ties beyond the
-// score break by shape order then row-major anchor, so the search is
-// deterministic.
+// score break by shape order then row-major anchor — the flattened
+// candidate index — so the search is deterministic.
+//
+// The scan fans out over a bounded goroutine pool: candidates are
+// partitioned into contiguous stripes, each worker maps, checks and scores
+// its own range against shared read-only state (the trace, the health map
+// and the explorer's projection, synchronised once by Reproject), and the
+// reduction picks the winner by (consumed desc, score asc, index asc) in
+// stripe order. Every viable candidate is mapped, counted and scored —
+// there is no running-best gate short-circuiting the per-candidate work —
+// so the searchcost counters are sums over a fixed candidate set,
+// byte-identical for every worker count including the serial path.
 func (m *Remapper) search(cfg *fabric.Config) cfgcache.RemapEntry {
 	minOps := m.minOps
 	if n := len(cfg.Ops); n < minOps {
@@ -293,37 +343,93 @@ func (m *Remapper) search(cfg *fabric.Config) cfgcache.RemapEntry {
 	m.ex.Reproject()
 	m.counts.RemapScans++
 	m.counts.RemapProjections += uint64(m.geom.NumFUs())
-	var best cfgcache.RemapEntry
-	bestConsumed := 0
-	bestScore := 0.0
+
+	shapes := make([]fabric.Geometry, 0, len(m.shapes))
 	for _, shape := range m.shapes {
-		if shape.Rows > m.geom.Rows || shape.Cols > m.geom.Cols {
-			continue
-		}
-		for ar := 0; ar < m.geom.Rows; ar++ {
-			for ac := 0; ac < m.geom.Cols; ac++ {
-				anchor := fabric.Offset{Row: ar, Col: ac}
-				m.counts.RemapCandidates++
-				mc, consumed := reshapeCounted(cfg, shape, anchor, m.geom, m.health, m.lat, &m.counts.RemapProbes)
-				if mc == nil || consumed < minOps || consumed < bestConsumed {
-					continue
-				}
-				// The anchor-frame mask guarantees liveness by construction;
-				// re-checking keeps the never-dead-placement invariant even
-				// if a shape list with out-of-range cells sneaks in.
-				if !m.health.PlacementOK(mc.Cells(), anchor) {
-					continue
-				}
-				m.counts.RemapCells += uint64(len(mc.Cells()))
-				score := m.ex.ProjectedScore(mc, anchor)
-				if consumed > bestConsumed || score < bestScore {
-					best = cfgcache.RemapEntry{Cfg: mc, Off: anchor, OK: true}
-					bestConsumed, bestScore = consumed, score
-				}
-			}
+		if shape.Rows <= m.geom.Rows && shape.Cols <= m.geom.Cols {
+			shapes = append(shapes, shape)
 		}
 	}
-	return best
+	anchors := m.geom.NumFUs()
+	n := len(shapes) * anchors
+	if n == 0 {
+		return cfgcache.RemapEntry{}
+	}
+	m.counts.RemapCandidates += uint64(n)
+	trace := Trace(cfg)
+
+	workers := m.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n < minParallelCandidates {
+		workers = 1
+	}
+	stripes := make([]searchStripe, pscan.Count(n, workers))
+	pscan.Run(n, workers, func(s, lo, hi int) {
+		stripes[s] = m.searchRange(trace, shapes, minOps, lo, hi)
+	})
+
+	best := searchStripe{idx: -1}
+	for _, sr := range stripes {
+		m.counts.RemapProbes += sr.probes
+		m.counts.RemapCells += sr.cells
+		if sr.idx < 0 {
+			continue
+		}
+		if best.idx < 0 || sr.consumed > best.consumed ||
+			(sr.consumed == best.consumed && (sr.score < best.score ||
+				(sr.score == best.score && sr.idx < best.idx))) {
+			best = sr
+		}
+	}
+	if best.idx < 0 {
+		return cfgcache.RemapEntry{}
+	}
+	return cfgcache.RemapEntry{Cfg: best.cfg, Off: best.off, OK: true}
+}
+
+// searchRange evaluates the flattened candidate range [lo, hi): candidate i
+// is shape i/NumFUs anchored at the row-major offset i%NumFUs. Each viable
+// candidate — mappable, long enough, live — is placed, counted and scored;
+// the stripe keeps the (consumed desc, score asc, index asc) winner.
+func (m *Remapper) searchRange(trace []mapper.TraceEntry, shapes []fabric.Geometry, minOps, lo, hi int) searchStripe {
+	sr := searchStripe{idx: -1}
+	cols := m.geom.Cols
+	for i := lo; i < hi; i++ {
+		shape := shapes[i/m.geom.NumFUs()]
+		a := i % m.geom.NumFUs()
+		anchor := fabric.Offset{Row: a / cols, Col: a % cols}
+		var disabled func(fabric.Cell) bool
+		if m.health != nil && m.health.DeadCount() > 0 {
+			disabled = func(c fabric.Cell) bool {
+				return m.health.Dead(anchor.Apply(c, m.geom))
+			}
+		}
+		mc, consumed := mapper.Map(trace, mapper.Options{
+			Geom:     shape,
+			Lat:      m.lat,
+			Disabled: disabled,
+			Probes:   &sr.probes,
+		})
+		if mc == nil || consumed < minOps {
+			continue
+		}
+		// The anchor-frame mask guarantees liveness by construction;
+		// re-checking keeps the never-dead-placement invariant even if a
+		// shape list with out-of-range cells sneaks in.
+		if !m.health.PlacementOK(mc.Cells(), anchor) {
+			continue
+		}
+		sr.cells += uint64(len(mc.Cells()))
+		score := m.ex.ProjectedScore(mc, anchor)
+		if sr.idx < 0 || consumed > sr.consumed ||
+			(consumed == sr.consumed && score < sr.score) {
+			sr.idx, sr.consumed, sr.score = i, consumed, score
+			sr.cfg, sr.off = mc, anchor
+		}
+	}
+	return sr
 }
 
 var (

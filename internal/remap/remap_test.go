@@ -11,6 +11,7 @@ import (
 	"agingcgra/internal/isa"
 	"agingcgra/internal/mapper"
 	"agingcgra/internal/prog"
+	"agingcgra/internal/searchcost"
 )
 
 func alu(pc uint32, rd, rs1, rs2 isa.Reg) mapper.TraceEntry {
@@ -542,5 +543,52 @@ func TestReshapeWrapAroundAnchor(t *testing.T) {
 	}
 	if err := mc.Validate(); err != nil {
 		t.Errorf("wrapped remap invalid: %v", err)
+	}
+}
+
+// TestRemapWorkerCountInvariance runs the same rescue search serial and
+// striped over four workers on a clustered-failure fabric with a skewed
+// wear map, and pins that both produce the same placement and — because
+// the counters sum over the fixed viable-candidate set, not the order the
+// running best happened to improve in — byte-identical searchcost Counts.
+func TestRemapWorkerCountInvariance(t *testing.T) {
+	g := fabric.NewGeometry(2, 16)
+	cfg := mapHealthy(t, independentALUs(8), g)
+	run := func(workers int) (*fabric.Config, fabric.Offset, bool, searchcost.Counts) {
+		// Dead quadrant (row 0, columns 0-7): the healthy shape survives
+		// at some anchors, narrower shapes at more — a real multi-shape,
+		// multi-anchor scan.
+		h, err := fabric.NewHealthWithDead(g, fabric.DeadQuadrantCells(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := fabric.NewWear(g)
+		for c := 0; c < 8; c++ {
+			w.Add(fabric.Cell{Row: 1, Col: c}, 2)
+		}
+		m := New(g, WithWorkers(workers))
+		m.SetHealth(h)
+		m.SetWear(w)
+		mc, off, ok := m.RemapConfig(cfg, fabric.Offset{}, false)
+		return mc, off, ok, m.SearchCounts()
+	}
+	cfgS, offS, okS, countsS := run(1)
+	cfgP, offP, okP, countsP := run(4)
+	if okS != okP || offS != offP {
+		t.Fatalf("serial (ok=%v off=%v) != parallel (ok=%v off=%v)", okS, offS, okP, offP)
+	}
+	if okS {
+		if cfgS.Geom != cfgP.Geom || cfgS.UsedCols != cfgP.UsedCols || len(cfgS.Ops) != len(cfgP.Ops) {
+			t.Fatalf("configs diverge: serial %v/%d ops, parallel %v/%d ops",
+				cfgS.Geom, len(cfgS.Ops), cfgP.Geom, len(cfgP.Ops))
+		}
+		for i := range cfgS.Ops {
+			if cfgS.Ops[i] != cfgP.Ops[i] {
+				t.Fatalf("op %d diverges: serial %+v, parallel %+v", i, cfgS.Ops[i], cfgP.Ops[i])
+			}
+		}
+	}
+	if countsS != countsP {
+		t.Fatalf("searchcost counts diverge:\nserial:   %+v\nparallel: %+v", countsS, countsP)
 	}
 }
