@@ -238,6 +238,16 @@ type (
 	RecoveryReport = lifetime.RecoveryReport
 )
 
+// LifetimePhase is one segment of a time-varying operating-point profile:
+// the phase's temperature/Vdd hold until UntilYears of simulated age
+// (zero fields keep the model's calibration corner, like
+// LifetimeConfig.TemperatureK/Vdd).
+type LifetimePhase struct {
+	UntilYears   float64 `json:"until_years"`
+	TemperatureK float64 `json:"temperature_k,omitempty"`
+	Vdd          float64 `json:"vdd,omitempty"`
+}
+
 // LifetimeConfig describes one lifetime scenario with the allocator chosen
 // by name; zero values select the BE design under the paper's calibration.
 type LifetimeConfig struct {
@@ -257,9 +267,14 @@ type LifetimeConfig struct {
 	MaxYears float64
 	// TemperatureK and Vdd override the operating point (0 keeps the
 	// model's calibration corner); hotter or higher-voltage parts age
-	// faster by Eq. 1's acceleration factor.
+	// faster by Eq. 1's acceleration factor. Ignored when Profile is set.
 	TemperatureK float64
 	Vdd          float64
+	// Profile optionally varies the operating point over time: each phase
+	// holds until its UntilYears of simulated age, and the last phase
+	// extends to the horizon. The fleet service draws device profiles from
+	// weighted distributions over these.
+	Profile []LifetimePhase
 	// DeadPattern names a clustered-failure layout injected before the
 	// first epoch: "column[:c]", "columns:c1+c2", "quadrant",
 	// "checkerboard[:p]", "survivor-row[:r]" or "healthy" (see
@@ -304,7 +319,14 @@ type LifetimeConfig struct {
 // once instead of once per allocator.
 var lifetimeRefs = dse.NewRefCache()
 
-func (c LifetimeConfig) scenario() (lifetime.Scenario, error) {
+// Scenario resolves the configuration into the internal lifetime.Scenario
+// it denotes: names validated and bound (allocator, pattern, ladder,
+// benchmarks), the operating point or phase profile built against the
+// model's calibration corner, and the process-wide GPP-reference memo
+// attached. It is the seam the lifetime service builds on — resolve once,
+// then attach cross-request shared state (Scenario.Refs, EpochMemo,
+// Fingerprint) before lifetime.Run.
+func (c LifetimeConfig) Scenario() (lifetime.Scenario, error) {
 	rows, cols := c.Rows, c.Cols
 	if rows == 0 {
 		rows = 2
@@ -358,6 +380,24 @@ func (c LifetimeConfig) scenario() (lifetime.Scenario, error) {
 	if err := cond.Validate(); err != nil {
 		return lifetime.Scenario{}, err
 	}
+	var profile []lifetime.Phase
+	for i, p := range c.Profile {
+		pc := model.Cond
+		if p.TemperatureK > 0 {
+			pc.TemperatureK = p.TemperatureK
+		}
+		if p.Vdd > 0 {
+			pc.Vdd = p.Vdd
+		}
+		if err := pc.Validate(); err != nil {
+			return lifetime.Scenario{}, fmt.Errorf("agingcgra: profile phase %d: %w", i, err)
+		}
+		if i > 0 && p.UntilYears < c.Profile[i-1].UntilYears {
+			return lifetime.Scenario{}, fmt.Errorf(
+				"agingcgra: profile phase %d ends at %.3g years, before phase %d", i, p.UntilYears, i-1)
+		}
+		profile = append(profile, lifetime.Phase{UntilYears: p.UntilYears, Cond: pc})
+	}
 	dead := append([]fabric.Cell(nil), c.InitialDead...)
 	if c.DeadPattern != "" {
 		cells, err := fabric.PatternCells(c.DeadPattern, g)
@@ -376,6 +416,7 @@ func (c LifetimeConfig) scenario() (lifetime.Scenario, error) {
 		MaxYears:    c.MaxYears,
 		Model:       model,
 		Cond:        cond,
+		Profile:     profile,
 		InitialDead: dead,
 		Refs:        lifetimeRefs,
 		Seed:        c.Seed,
@@ -392,7 +433,7 @@ func (c LifetimeConfig) scenario() (lifetime.Scenario, error) {
 
 // RunLifetime simulates one lifetime scenario to its horizon.
 func RunLifetime(c LifetimeConfig) (*LifetimeResult, error) {
-	sc, err := c.scenario()
+	sc, err := c.Scenario()
 	if err != nil {
 		return nil, err
 	}
@@ -405,7 +446,7 @@ func RunLifetime(c LifetimeConfig) (*LifetimeResult, error) {
 func RunLifetimes(cs []LifetimeConfig, workers int) ([]*LifetimeResult, error) {
 	scs := make([]lifetime.Scenario, len(cs))
 	for i, c := range cs {
-		sc, err := c.scenario()
+		sc, err := c.Scenario()
 		if err != nil {
 			return nil, err
 		}

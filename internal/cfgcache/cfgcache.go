@@ -2,6 +2,20 @@
 // CGRA configurations indexed by the PC of their first instruction (Fig. 2,
 // step 3/4 of the paper), with bounded capacity and LRU or FIFO
 // replacement.
+//
+// Two invariants carry the rest of the system:
+//
+//   - Probe cost: the hot loop probes twice per retired instruction, so
+//     Cache maintains a dense table indexed by (PC − TextBase)/4 kept in
+//     exact sync with the authoritative LRU map — a lookup is one array
+//     load, and the map remains the fallback for out-of-window PCs.
+//   - State keying: a cached artifact is a decision taken under one
+//     fabric state. Cache.SyncState flushes translations wholesale when
+//     the observed (health, wear) versions move (the shape-translating
+//     DBT's contract), and RemapCache keys rescue-search outcomes —
+//     positive and negative — on (StartPC, Health.Version, Wear.Version).
+//     Neither structure ever serves an entry recorded under a different
+//     version than the caller currently observes.
 package cfgcache
 
 import (

@@ -6,7 +6,11 @@
 // regardless of completion order, and the stand-alone GPP reference — a
 // pure function of (benchmark, size, timing) that the serial path
 // recomputed for every point — is memoized in a RefCache shared across the
-// pool.
+// pool. ForEach spins up a throwaway pool per call (the sweep-command
+// shape); Pool (queue.go) is the persistent, bounded-queue variant the
+// lifetime service keeps across requests, with context cancellation and
+// graceful drain. Both honor the same contract: indexed results, the
+// lowest-indexed error, and panics recovered into that index's error.
 package dse
 
 import (
@@ -18,6 +22,7 @@ import (
 	"agingcgra/internal/dbt"
 	"agingcgra/internal/fabric"
 	"agingcgra/internal/gpp"
+	"agingcgra/internal/memostore"
 	"agingcgra/internal/prog"
 )
 
@@ -34,25 +39,21 @@ type refKey struct {
 	timing gpp.Timing
 }
 
-type refEntry struct {
-	once sync.Once
-	ref  GPPRef
-	err  error
-}
-
 // RefCache memoizes GPP-only reference runs. The reference depends only on
 // the benchmark, the input size and the timing model — not on the fabric
-// geometry or allocator — so one cache serves an entire sweep. Safe for
-// concurrent use; each key is computed exactly once even when several
-// workers ask for it simultaneously.
+// geometry or allocator — so one cache serves an entire sweep, and the
+// lifetime service holds a single process-wide instance so the references
+// are shared across requests. Safe for concurrent use; each key is computed
+// exactly once (single-flight) even when several workers ask for it
+// simultaneously. Backed by an unbounded memostore.Store, whose hit/miss
+// counters the service's /v1/stats endpoint surfaces.
 type RefCache struct {
-	mu sync.Mutex
-	m  map[refKey]*refEntry
+	store *memostore.Store
 }
 
 // NewRefCache builds an empty reference memo.
 func NewRefCache() *RefCache {
-	return &RefCache{m: make(map[refKey]*refEntry)}
+	return &RefCache{store: memostore.New(0)}
 }
 
 // Get returns the memoized reference for (b, size, timing), computing it on
@@ -63,24 +64,24 @@ func (rc *RefCache) Get(b *prog.Benchmark, size prog.Size, timing gpp.Timing) (G
 		timing = gpp.DefaultTiming()
 	}
 	key := refKey{bench: b.Name, size: size, timing: timing}
-	rc.mu.Lock()
-	e, ok := rc.m[key]
-	if !ok {
-		e = &refEntry{}
-		rc.m[key] = e
-	}
-	rc.mu.Unlock()
-	e.once.Do(func() {
+	v, err := rc.store.GetOrCompute(key, func() (any, error) {
 		c, err := b.NewCore(size)
 		if err != nil {
-			e.err = err
-			return
+			return GPPRef{}, err
 		}
-		e.ref.Cycles, e.ref.Classes, e.err = dbt.RunGPPOnly(c, timing, b.MaxInstructions)
+		var ref GPPRef
+		ref.Cycles, ref.Classes, err = dbt.RunGPPOnly(c, timing, b.MaxInstructions)
 		c.Release()
+		return ref, err
 	})
-	return e.ref, e.err
+	if err != nil {
+		return GPPRef{}, err
+	}
+	return v.(GPPRef), nil
 }
+
+// Stats snapshots the underlying memo store's counters.
+func (rc *RefCache) Stats() memostore.Stats { return rc.store.Stats() }
 
 // Point is one design point of a sweep: a fabric geometry paired with the
 // allocator strategy to run on it.
@@ -107,14 +108,7 @@ type Point struct {
 // RunPoints and the lifetime scenario batches; fn must be safe to call from
 // multiple goroutines for distinct indices.
 func ForEach(n, workers int, fn func(i int) error) error {
-	call := func(i int) (err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("dse: work item %d panicked: %v\n%s", i, r, debug.Stack())
-			}
-		}()
-		return fn(i)
-	}
+	call := func(i int) error { return protect(i, fn) }
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -153,6 +147,20 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// protect runs fn(i) and converts a panic into that index's error — the
+// recovery contract shared by ForEach and Pool.ForEach: one malformed work
+// item fails its batch cleanly instead of crashing the process (or, on the
+// persistent pool, killing a worker goroutine every other request depends
+// on).
+func protect(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dse: work item %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
 }
 
 // RunPoints executes the suite on every design point, fanning the points

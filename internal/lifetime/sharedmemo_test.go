@@ -1,0 +1,114 @@
+package lifetime
+
+import (
+	"encoding/json"
+	"testing"
+
+	"agingcgra/internal/dse"
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/memostore"
+	recov "agingcgra/internal/recover"
+)
+
+func sharedMemoScenario(maxYears float64) Scenario {
+	return Scenario{
+		Geom:        fabric.NewGeometry(2, 8),
+		Factory:     dse.BaselineFactory,
+		Mix:         []string{"crc32"},
+		EpochYears:  0.5,
+		MaxYears:    maxYears,
+		Fingerprint: "test-shared-memo-crc32-2x8-baseline",
+	}
+}
+
+// TestSharedEpochMemoWarmEqualsCold pins the service's determinism
+// foundation: a run against a warm cross-request store is byte-identical to
+// a cold run, and the warm run actually hits the store.
+func TestSharedEpochMemoWarmEqualsCold(t *testing.T) {
+	cold := sharedMemoScenario(3)
+	coldRes, err := Run(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldJSON, _ := json.Marshal(coldRes)
+
+	store := memostore.New(0)
+	first := sharedMemoScenario(3)
+	first.EpochMemo = store
+	if _, err := Run(first); err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := store.Stats().Misses
+
+	warm := sharedMemoScenario(3)
+	warm.EpochMemo = store
+	warmRes, err := Run(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, _ := json.Marshal(warmRes)
+	if string(coldJSON) != string(warmJSON) {
+		t.Fatal("warm-store run differs from cold run")
+	}
+	st := store.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("warm run never hit the shared store: %+v", st)
+	}
+	if st.Misses != missesAfterFirst {
+		t.Fatalf("warm run of an identical scenario recomputed epochs: %+v", st)
+	}
+}
+
+// TestSharedEpochMemoSharesAcrossHorizons pins the one deliberate
+// fingerprint exclusion: scenarios differing only in MaxYears share a
+// trajectory prefix, so a longer run reuses the shorter run's epochs and
+// still matches its own cold computation byte for byte.
+func TestSharedEpochMemoSharesAcrossHorizons(t *testing.T) {
+	store := memostore.New(0)
+	short := sharedMemoScenario(2)
+	short.EpochMemo = store
+	if _, err := Run(short); err != nil {
+		t.Fatal(err)
+	}
+
+	long := sharedMemoScenario(4)
+	long.EpochMemo = store
+	longRes, err := Run(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Stats().Hits == 0 {
+		t.Fatal("longer horizon never reused the shorter run's epochs")
+	}
+
+	coldLong, err := Run(sharedMemoScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(longRes)
+	b, _ := json.Marshal(coldLong)
+	if string(a) != string(b) {
+		t.Fatal("store-assisted long run differs from cold long run")
+	}
+}
+
+// TestSharedEpochMemoIgnoredWithRecovery pins the soundness guard: a
+// recovery monitor's cross-epoch state mutates inside runEpoch, so such
+// scenarios must never consult the shared store.
+func TestSharedEpochMemoIgnoredWithRecovery(t *testing.T) {
+	store := memostore.New(0)
+	sc := sharedMemoScenario(2)
+	sc.EpochMemo = store
+	sc.Recovery = &recov.Policy{}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery == nil {
+		t.Fatal("recovery report missing")
+	}
+	st := store.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("recovery scenario touched the shared epoch store: %+v", st)
+	}
+}

@@ -1,8 +1,13 @@
 // Package stats provides the small statistics toolkit the experiment
 // reports need: summary statistics, histograms and Gaussian kernel density
 // estimates over per-FU utilization values (the probability density plots
-// of Fig. 7 and Fig. 8), plus dispersion measures used by the ablation
-// benches to compare movement patterns.
+// of Fig. 7 and Fig. 8), dispersion measures used by the ablation benches
+// to compare movement patterns, and nearest-rank percentiles for the fleet
+// service's lifetime distributions.
+//
+// Every function is a pure function of its input slice — inputs are never
+// mutated (sorting copies first) — so results are deterministic and safe
+// to compute concurrently over shared data.
 package stats
 
 import (
@@ -80,6 +85,28 @@ func Gini(xs []float64) float64 {
 		return 0
 	}
 	return cum / (float64(n) * total)
+}
+
+// Percentile returns the p-th percentile of xs by the nearest-rank method:
+// the smallest element with at least p% of the samples at or below it
+// (index ceil(p/100*N)-1 of the ascending sort). Nearest-rank always
+// returns an actual sample — no interpolation — so percentiles over death
+// ages stay real, attributable device outcomes. p is clamped to (0, 100];
+// NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p > 100 {
+		p = 100
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
 }
 
 // HistogramBin is one bin of a histogram.

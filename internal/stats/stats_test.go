@@ -157,3 +157,31 @@ func TestGiniScaleInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p, want float64
+	}{
+		{5, 15},   // ceil(0.05*5)=1 -> first sample
+		{30, 20},  // ceil(1.5)=2
+		{40, 20},  // ceil(2.0)=2
+		{50, 35},  // ceil(2.5)=3
+		{100, 50}, // always the max
+		{150, 50}, // clamped to 100
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", xs, c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile of empty input should be NaN")
+	}
+	// Input must not be mutated (the fleet aggregator shares slices).
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Errorf("Percentile mutated its input: %v", unsorted)
+	}
+}
