@@ -33,6 +33,7 @@ import (
 	"agingcgra/internal/prog"
 	recov "agingcgra/internal/recover"
 	"agingcgra/internal/remap"
+	"agingcgra/internal/trace"
 )
 
 // Re-exported building blocks, so downstream code can stay on the facade.
@@ -236,6 +237,12 @@ type (
 	RecoveryPolicy = recov.Policy
 	// RecoveryReport summarises a recovery-enabled lifetime run.
 	RecoveryReport = lifetime.RecoveryReport
+	// TraceEvent is one observability record of a traced lifetime run.
+	TraceEvent = trace.Event
+	// TraceSink receives a traced run's event stream.
+	TraceSink = trace.Sink
+	// TraceRecorder is a TraceSink collecting events in emission order.
+	TraceRecorder = trace.Recorder
 )
 
 // LifetimePhase is one segment of a time-varying operating-point profile:
@@ -309,6 +316,11 @@ type LifetimeConfig struct {
 	// consumes the runtime's observed health map instead of the oracle, and
 	// the result carries a RecoveryReport.
 	Recovery *RecoveryPolicy
+	// Trace receives the run's observability event stream (epoch
+	// summaries, deaths, fault/quarantine activity, remap rescues, GPP
+	// fallbacks, per-FU duty/wear snapshots). Nil disables tracing;
+	// tracing is observation-only and never changes the result.
+	Trace TraceSink
 }
 
 // lifetimeRefs memoizes the stand-alone GPP reference runs across every
@@ -422,6 +434,7 @@ func (c LifetimeConfig) Scenario() (lifetime.Scenario, error) {
 		Seed:        c.Seed,
 		FaultModel:  c.Faults,
 		Recovery:    c.Recovery,
+		Trace:       c.Trace,
 	}
 	sc.Engine.StaleTranslations = c.StaleTranslations
 	sc.Engine.ShapeTranslations = c.ShapeTranslations

@@ -86,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	failStop := fs.Bool("fail-stop", false,
 		"no-recovery baseline: first detected fault routes every later offload to the GPP forever")
 	workers := fs.Int("workers", 0, "scenario parallelism (0: all CPUs, 1: serial)")
+	traceOut := fs.String("trace", "",
+		"write observability artifacts under this path prefix: PREFIX.events.csv (epoch/death/fault/quarantine/remap/fallback events), PREFIX.snapshots.csv (per-FU duty/wear per epoch) and PREFIX.html (standalone heatmap + timeline report)")
 	out := fs.String("o", "-", "JSON output path ('-' for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,12 +138,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 		})
 	}
 
+	// One recorder per scenario: each Run emits into its own sink, so the
+	// combined stream (concatenated in scenario order) is identical at any
+	// -workers value.
+	var recorders []*agingcgra.TraceRecorder
+	if *traceOut != "" {
+		recorders = make([]*agingcgra.TraceRecorder, len(configs))
+		for i := range configs {
+			recorders[i] = &agingcgra.TraceRecorder{}
+			configs[i].Trace = recorders[i]
+		}
+	}
+
 	results, err := agingcgra.RunLifetimes(configs, *workers)
 	if err != nil {
 		return err
 	}
 
 	printSummary(stderr, results)
+
+	if *traceOut != "" {
+		var events []agingcgra.TraceEvent
+		for _, rec := range recorders {
+			events = append(events, rec.Events...)
+		}
+		if err := writeTraceArtifacts(*traceOut, events, stderr); err != nil {
+			return err
+		}
+	}
 
 	blob, err := json.MarshalIndent(Output{
 		Schema:    "agingcgra-lifetime/v1",
@@ -160,6 +184,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "wrote %s\n", *out)
 	}
 	return nil
+}
+
+// writeTraceArtifacts renders the recorded event stream as the three
+// observability artifacts: the flat event CSV, the per-FU snapshot CSV,
+// and the standalone HTML report.
+func writeTraceArtifacts(prefix string, events []agingcgra.TraceEvent, stderr io.Writer) error {
+	write := func(suffix string, render func(io.Writer) error) error {
+		path := prefix + suffix
+		var b strings.Builder
+		if err := render(&b); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", path)
+		return nil
+	}
+	if err := write(".events.csv", func(w io.Writer) error {
+		return report.TraceEventsCSV(w, events)
+	}); err != nil {
+		return err
+	}
+	if err := write(".snapshots.csv", func(w io.Writer) error {
+		return report.TraceSnapshotsCSV(w, events)
+	}); err != nil {
+		return err
+	}
+	return write(".html", func(w io.Writer) error {
+		return report.TraceHTML(w, "cgra-lifetime trace", events)
+	})
 }
 
 func printSummary(w io.Writer, results []*agingcgra.LifetimeResult) {

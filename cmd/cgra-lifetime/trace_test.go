@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace artifacts")
+
+// TestRunTraceGolden runs a tiny deterministic scenario with -trace and
+// compares every artifact byte for byte against the committed goldens:
+// the CSV/HTML renderers and the event stream behind them are pure
+// functions of the scenario, so any drift here is a real contract change
+// (regenerate deliberately with `go test -run TraceGolden -update`).
+func TestRunTraceGolden(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "trace")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-rows", "2", "-cols", "8",
+		"-allocators", "baseline",
+		"-bench", "crc32",
+		"-years", "2",
+		"-workers", "1",
+		"-trace", prefix,
+		"-o", filepath.Join(dir, "out.json"),
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".events.csv", ".snapshots.csv", ".html"} {
+		got, err := os.ReadFile(prefix + suffix)
+		if err != nil {
+			t.Fatalf("missing artifact: %v", err)
+		}
+		golden := filepath.Join("testdata", "trace"+suffix+".golden")
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("reading golden (regenerate with -update): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s drifted from golden %s (regenerate deliberately with -update)",
+				prefix+suffix, golden)
+		}
+		if !strings.Contains(stderr.String(), "wrote "+prefix+suffix) {
+			t.Errorf("stderr does not mention %s", prefix+suffix)
+		}
+	}
+}
+
+// TestRunTraceAtAnyWorkerCount pins the CLI half of the determinism
+// contract: -trace artifacts are byte-identical at -workers 1 and 4,
+// because each scenario records into its own recorder and the combined
+// stream is concatenated in scenario order.
+func TestRunTraceAtAnyWorkerCount(t *testing.T) {
+	render := func(workers string) map[string][]byte {
+		t.Helper()
+		dir := t.TempDir()
+		prefix := filepath.Join(dir, "trace")
+		var stdout, stderr bytes.Buffer
+		err := run([]string{
+			"-rows", "2", "-cols", "8",
+			"-allocators", "baseline,utilization-aware,remap",
+			"-bench", "crc32",
+			"-years", "3",
+			"-workers", workers,
+			"-trace", prefix,
+			"-o", filepath.Join(dir, "out.json"),
+		}, &stdout, &stderr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string][]byte)
+		for _, suffix := range []string{".events.csv", ".snapshots.csv", ".html"} {
+			b, err := os.ReadFile(prefix + suffix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[suffix] = b
+		}
+		return out
+	}
+	serial := render("1")
+	parallel := render("4")
+	for suffix, want := range serial {
+		if !bytes.Equal(parallel[suffix], want) {
+			t.Errorf("%s differs between -workers 1 and 4", suffix)
+		}
+	}
+}

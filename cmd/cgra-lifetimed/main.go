@@ -8,11 +8,13 @@
 //
 // Endpoints (see docs/SERVICE.md for the full API reference):
 //
-//	GET  /healthz      liveness probe
-//	POST /v1/lifetime  run one scenario
-//	POST /v1/batch     run a scenario list, results in request order
-//	POST /v1/fleet     seeded fleet draw + percentile aggregation
-//	GET  /v1/stats     cumulative memo-store and pool counters
+//	GET  /healthz             liveness probe
+//	POST /v1/lifetime         run one scenario
+//	POST /v1/lifetime/stream  run one scenario, streaming its observability
+//	                          events as NDJSON with a terminal result line
+//	POST /v1/batch            run a scenario list, results in request order
+//	POST /v1/fleet            seeded fleet draw + percentile aggregation
+//	GET  /v1/stats            cumulative memo-store and pool counters
 //
 // Usage:
 //

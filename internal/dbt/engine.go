@@ -215,6 +215,16 @@ type Report struct {
 	ReconfigEvents uint64
 	Cache          cfgcache.Stats
 
+	// Placement outcomes under failures. Remaps counts offloads kept
+	// on-fabric by a shape-adaptive substitution (PlaceOrRemap returned a
+	// configuration other than the translated one); GPPFallbacks counts
+	// offloads the placement refused outright — every pivot would drive a
+	// failed FU and no alternative shape fit — so the step retired on the
+	// GPP (fresh refusals and unplaceable-memo hits alike). Both stay zero
+	// on a healthy fabric.
+	Remaps       uint64
+	GPPFallbacks uint64
+
 	// Search tallies the run's placement/shape-search work — the engine's
 	// own translation-time ladder scans plus the allocator's pivot and
 	// rescue scans (searchcost.Instrumented), as deltas over this run — so
@@ -479,6 +489,7 @@ func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
 		if e.unplaceableVer != h.Version() {
 			e.unplaceable, e.unplaceableVer = nil, h.Version()
 		} else if e.unplaceable[cfg.StartPC] {
+			e.rep.GPPFallbacks++
 			_, err := e.stepOnGPP(c)
 			return err
 		}
@@ -501,8 +512,12 @@ func (e *Engine) offload(c *gpp.Core, cfg *fabric.Config) error {
 			e.unplaceableVer = e.ctrl.Health().Version()
 		}
 		e.unplaceable[cfg.StartPC] = true
+		e.rep.GPPFallbacks++
 		_, err := e.stepOnGPP(c)
 		return err
+	}
+	if mapped != cfg {
+		e.rep.Remaps++
 	}
 
 	pcs, dirs := mapped.ReplayTables()

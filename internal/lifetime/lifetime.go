@@ -44,6 +44,7 @@ import (
 	"agingcgra/internal/prog"
 	recov "agingcgra/internal/recover"
 	"agingcgra/internal/searchcost"
+	"agingcgra/internal/trace"
 )
 
 // Phase is one segment of a time-varying operating-point profile: the
@@ -138,6 +139,17 @@ type Scenario struct {
 	// exists for). An under-descriptive fingerprint silently replays wrong
 	// epochs; when in doubt, include more. Empty disables the shared store.
 	Fingerprint string
+	// Trace receives the run's observability event stream (see
+	// internal/trace): per-epoch resolution summaries, aging deaths, fault
+	// and quarantine activity, remap rescues, GPP fallbacks, and per-FU
+	// duty/wear heatmap snapshots. Nil disables tracing and the emission
+	// sites short-circuit without allocating. Tracing is observation-only
+	// — the Result is byte-identical with or without a sink — and the
+	// stream is a pure function of (scenario, seed): every event derives
+	// from state the loop recomputes each epoch or from the memoized epoch
+	// outcome itself, so a memo-replayed epoch re-emits the events of the
+	// epoch it replays and warm/cold stores yield identical streams.
+	Trace trace.Sink
 }
 
 // FaultModel derives per-execution intermittent-fault probabilities from
@@ -444,7 +456,14 @@ type epochRun struct {
 	// A replayed epoch re-adds it: escapes and checks recur every epoch of
 	// a steady state even though the simulator memoized the outcome.
 	recovery recov.Stats
-	util     *core.UtilizationMap
+	// remaps and fallbacks count the mix's shape-adaptive substitutions
+	// and refused-placement GPP retirements. They ride in the memo value
+	// as the epoch's compact event record: a replayed epoch re-emits its
+	// remap-rescue and GPP-fallback trace events from here, exactly as it
+	// re-adds the search and recovery deltas.
+	remaps    uint64
+	fallbacks uint64
+	util      *core.UtilizationMap
 }
 
 // Run simulates one scenario to its horizon.
@@ -617,6 +636,7 @@ func Run(sc Scenario) (*Result, error) {
 		// (the epoch-granularity approximation).
 		accel := sc.Model.AccelerationFactor(sc.condAt(years))
 		var deaths []fabric.Cell
+		deathsBefore := len(res.DeathAges)
 		worstDelay := 0.0
 		for i := 0; i < n; i++ {
 			cell := fabric.Cell{Row: i / sc.Geom.Cols, Col: i % sc.Geom.Cols}
@@ -695,6 +715,12 @@ func Run(sc Scenario) (*Result, error) {
 		}
 		res.Timeline = append(res.Timeline, rec)
 		res.TotalDeaths += len(deaths)
+		if sc.Trace != nil {
+			// res.DeathAges is only sorted after the loop, so its tail
+			// since deathsBefore still pairs with deaths in cell order.
+			emitEpochEvents(&sc, run, rec, events, deaths,
+				res.DeathAges[deathsBefore:], health, wear, mon)
+		}
 	}
 
 	res.AliveFraction = health.AliveFraction()
@@ -749,6 +775,102 @@ func Run(sc Scenario) (*Result, error) {
 		res.Recovery = rr
 	}
 	return res, nil
+}
+
+// emitEpochEvents renders one resolved epoch as trace events, in a fixed
+// order: fault activity, monitor transitions, remap rescues, GPP
+// fallbacks, deaths, the epoch summary, and the heatmap snapshot. Only
+// reached with a sink attached. Determinism rests on every input being
+// either recomputed each epoch (deaths, wear, health, the monitor's
+// observed map) or carried in the memoized epochRun (recovery and search
+// deltas, remap/fallback counts, the utilization map) — which replayed
+// epochs re-add verbatim, so they re-emit the same events as the epoch
+// they replay. Monitor transition events only exist on freshly simulated
+// epochs by construction: a transition bumps the monitor version, so the
+// following epoch cannot replay.
+func emitEpochEvents(sc *Scenario, run *epochRun, rec EpochRecord, events []recov.Event,
+	deaths []fabric.Cell, ages []float64, health *fabric.Health, wear *fabric.Wear, mon *recov.Monitor) {
+	sink := sc.Trace
+	base := trace.Event{Scenario: sc.Name, Epoch: rec.Epoch, Years: rec.Years}
+	if run.recovery.FaultedExecs > 0 || run.recovery.SilentEscapes > 0 || run.recovery.DetectedFaults > 0 {
+		ev := base
+		ev.Kind = trace.KindFault
+		ev.Count = run.recovery.FaultedExecs
+		ev.Detected = run.recovery.DetectedFaults
+		ev.Escapes = run.recovery.SilentEscapes
+		sink.Emit(ev)
+	}
+	for _, mev := range events {
+		ev := base
+		switch mev.Kind {
+		case recov.Quarantine:
+			ev.Kind = trace.KindQuarantine
+		case recov.Reinstate:
+			ev.Kind = trace.KindReinstate
+		default:
+			continue
+		}
+		cell := mev.Cell
+		ev.Cell = &cell
+		ev.TruthDead = mev.TruthDead
+		sink.Emit(ev)
+	}
+	if run.remaps > 0 {
+		ev := base
+		ev.Kind = trace.KindRemapRescue
+		ev.Count = run.remaps
+		sink.Emit(ev)
+	}
+	if run.fallbacks > 0 {
+		ev := base
+		ev.Kind = trace.KindGPPFallback
+		ev.Count = run.fallbacks
+		sink.Emit(ev)
+	}
+	for i, c := range deaths {
+		ev := base
+		ev.Kind = trace.KindDeath
+		cell := c
+		ev.Cell = &cell
+		ev.AgeYears = ages[i]
+		sink.Emit(ev)
+	}
+	ep := base
+	ep.Kind = trace.KindEpoch
+	ep.Replayed = rec.Replayed
+	ep.Speedup = rec.Speedup
+	ep.AliveFraction = rec.AliveFraction
+	ep.WorstUtil = rec.WorstUtil
+	ep.MeanUtil = rec.MeanUtil
+	ep.Offloads = rec.Offloads
+	ep.Deaths = len(deaths)
+	if !run.search.Zero() {
+		bd := searchcost.DefaultModel().Assess(run.search)
+		ep.SearchCycles = bd.Total().Cycles
+		ep.RecoveryCycles = bd.Recovery.Cycles
+	}
+	sink.Emit(ep)
+
+	snap := base
+	snap.Kind = trace.KindSnapshot
+	snap.Rows, snap.Cols = sc.Geom.Rows, sc.Geom.Cols
+	// Copies throughout: run.util may live in the shared epoch store,
+	// whose values are immutable, and wear/health keep evolving.
+	snap.Duty = append([]float64(nil), run.util.Duty...)
+	snap.WearYears = wear.CopyYears(nil)
+	for i, dead := range health.DeadMask() {
+		if dead {
+			snap.Dead = append(snap.Dead, i)
+		}
+	}
+	if mon != nil {
+		for i, dead := range mon.Observed().DeadMask() {
+			if dead {
+				snap.ObservedDead = append(snap.ObservedDead, i)
+			}
+		}
+	}
+	sink.Emit(snap)
 }
 
 // updateFaults re-derives the per-execution fault probabilities from the
@@ -833,6 +955,8 @@ func runEpoch(sc *Scenario, health *fabric.Health, wear *fabric.Wear, mon *recov
 		run.instrs += rep.TotalInstrs
 		run.offloads += rep.Offloads
 		run.search.Add(rep.Search)
+		run.remaps += rep.Remaps
+		run.fallbacks += rep.GPPFallbacks
 	}
 	run.util = ctrl.Utilization()
 	return run, nil

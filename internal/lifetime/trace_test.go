@@ -1,0 +1,359 @@
+package lifetime
+
+import (
+	"encoding/json"
+	"testing"
+
+	"agingcgra/internal/dse"
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/memostore"
+	"agingcgra/internal/trace"
+)
+
+// TestTraceObservationOnly pins the tentpole's first contract: attaching
+// a sink never changes the Result — traced and untraced runs of the same
+// scenario produce byte-identical JSON — and the traced run actually
+// emits events.
+func TestTraceObservationOnly(t *testing.T) {
+	plain := sharedMemoScenario(3)
+	plain.Fingerprint = ""
+	plainRes, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainJSON, _ := json.Marshal(plainRes)
+
+	rec := &trace.Recorder{}
+	traced := sharedMemoScenario(3)
+	traced.Fingerprint = ""
+	traced.Trace = rec
+	tracedRes, err := Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracedJSON, _ := json.Marshal(tracedRes)
+
+	if string(plainJSON) != string(tracedJSON) {
+		t.Fatal("tracing changed the Result bytes")
+	}
+	if len(rec.Events) == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+	epochs, snapshots := 0, 0
+	for _, ev := range rec.Events {
+		switch ev.Kind {
+		case trace.KindEpoch:
+			epochs++
+		case trace.KindSnapshot:
+			snapshots++
+		}
+	}
+	if want := len(tracedRes.Timeline); epochs != want || snapshots != want {
+		t.Fatalf("want %d epoch and %d snapshot events, got %d and %d",
+			want, want, epochs, snapshots)
+	}
+}
+
+// TestTraceObservationOnlyWithRecovery repeats the observation-only pin
+// on the fault/recovery path, where the monitor contributes quarantine
+// and fault events.
+func TestTraceObservationOnlyWithRecovery(t *testing.T) {
+	plainRes, err := Run(faultScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainJSON, _ := json.Marshal(plainRes)
+
+	rec := &trace.Recorder{}
+	traced := faultScenario()
+	traced.Trace = rec
+	tracedRes, err := Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracedJSON, _ := json.Marshal(tracedRes)
+	if string(plainJSON) != string(tracedJSON) {
+		t.Fatal("tracing changed the Result bytes on the recovery path")
+	}
+	faults := 0
+	for _, ev := range rec.Events {
+		if ev.Kind == trace.KindFault {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("fault-injected traced run emitted no fault events")
+	}
+}
+
+// eventsByEpoch groups a recorded stream by epoch index.
+func eventsByEpoch(events []trace.Event) map[int][]trace.Event {
+	m := make(map[int][]trace.Event)
+	for _, ev := range events {
+		m[ev.Epoch] = append(m[ev.Epoch], ev)
+	}
+	return m
+}
+
+// memoizedRecord extracts the events a replayed epoch must re-emit from
+// its memo value — the during-epoch activity (fault, remap_rescue,
+// gpp_fallback) plus the run-derived epoch-summary fields — normalized
+// so two epochs replaying the same outcome compare equal. State-derived
+// events (deaths, alive fraction, snapshots) legitimately differ between
+// an epoch and its replay, because aging continues during replay.
+func memoizedRecord(events []trace.Event) []trace.Event {
+	var out []trace.Event
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.KindFault, trace.KindRemapRescue, trace.KindGPPFallback:
+			ev.Epoch, ev.Years = 0, 0
+			out = append(out, ev)
+		case trace.KindEpoch:
+			ev.Epoch, ev.Years, ev.Replayed = 0, 0, false
+			ev.AliveFraction, ev.Deaths = 0, 0
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestEpochMemoKeyCoversTraceReplay extends the TestEpochMemoKeyCovers*
+// family to the event stream: a memo-replayed epoch must re-emit the
+// events carried in the epoch memo value. The stale-translation
+// dead-column scenario is the crispest case — the health map never
+// changes after injection, so every epoch past the first replays, while
+// the hardware's GPP fallbacks recur every epoch and must keep
+// appearing in the stream.
+func TestEpochMemoKeyCoversTraceReplay(t *testing.T) {
+	rec := &trace.Recorder{}
+	g := fabric.NewGeometry(2, 16)
+	deadCol, err := fabric.PatternCells("column:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Geom:        g,
+		Factory:     dse.BaselineFactory,
+		Mix:         []string{"crc32"},
+		EpochYears:  0.5,
+		MaxYears:    3,
+		InitialDead: deadCol,
+		Trace:       rec,
+	}
+	sc.Engine.StaleTranslations = true
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replayed := 0
+	for _, r := range res.Timeline {
+		if r.Replayed {
+			replayed++
+		}
+	}
+	if replayed == 0 {
+		t.Fatal("dead-column stale-translation scenario should replay epochs")
+	}
+
+	byEpoch := eventsByEpoch(rec.Events)
+	source, err1 := json.Marshal(memoizedRecord(byEpoch[0]))
+	if err1 != nil {
+		t.Fatal(err1)
+	}
+	sawFallback := false
+	for _, ev := range byEpoch[0] {
+		if ev.Kind == trace.KindGPPFallback && ev.Count > 0 {
+			sawFallback = true
+		}
+	}
+	if !sawFallback {
+		t.Fatal("stale translations over a dead column should fall back to the GPP")
+	}
+	for i, r := range res.Timeline {
+		if !r.Replayed {
+			continue
+		}
+		got, _ := json.Marshal(memoizedRecord(byEpoch[i]))
+		if string(got) != string(source) {
+			t.Errorf("replayed epoch %d re-emitted different events:\n got %s\nwant %s",
+				i, got, source)
+		}
+	}
+}
+
+// TestTraceReplayFaultPathConsistency runs the recovery path: every
+// replayed epoch's memoized event record matches its source epoch's (the
+// nearest earlier simulated epoch), and quarantine/reinstate transitions
+// never land on replayed epochs — a transition bumps the monitor
+// version, which forces the next epoch to re-simulate. Fault-active
+// epochs always re-simulate in this scenario (executing cells accrue
+// wear, which moves the fault field version), so the nonzero-count
+// re-emission pin lives in TestEpochMemoKeyCoversTraceReplay's
+// GPP-fallback stream instead.
+func TestTraceReplayFaultPathConsistency(t *testing.T) {
+	rec := &trace.Recorder{}
+	sc := faultScenario()
+	sc.Trace = rec
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byEpoch := eventsByEpoch(rec.Events)
+	replayed := 0
+	for i, r := range res.Timeline {
+		if !r.Replayed {
+			continue
+		}
+		replayed++
+		// Find the source epoch: the nearest earlier non-replayed epoch.
+		src := i - 1
+		for src >= 0 && res.Timeline[src].Replayed {
+			src--
+		}
+		if src < 0 {
+			t.Fatalf("epoch %d replayed with no earlier simulated epoch", i)
+		}
+		got, _ := json.Marshal(memoizedRecord(byEpoch[i]))
+		want, _ := json.Marshal(memoizedRecord(byEpoch[src]))
+		if string(got) != string(want) {
+			t.Errorf("replayed epoch %d diverged from source epoch %d:\n got %s\nwant %s",
+				i, src, got, want)
+		}
+		for _, ev := range byEpoch[i] {
+			switch ev.Kind {
+			case trace.KindQuarantine, trace.KindReinstate:
+				t.Errorf("epoch %d: monitor transition event on a replayed epoch", i)
+			}
+		}
+	}
+	if replayed == 0 {
+		t.Fatal("fault scenario never replayed an epoch; the consistency check is vacuous")
+	}
+}
+
+// TestTraceWarmColdStoreStreamsIdentical pins the shared-store half of
+// the determinism contract: the event stream against a warm
+// cross-request epoch store is byte-identical to the cold stream.
+func TestTraceWarmColdStoreStreamsIdentical(t *testing.T) {
+	store := memostore.New(0)
+
+	coldRec := &trace.Recorder{}
+	cold := sharedMemoScenario(3)
+	cold.EpochMemo = store
+	cold.Trace = coldRec
+	if _, err := Run(cold); err != nil {
+		t.Fatal(err)
+	}
+	coldJSON, _ := json.Marshal(coldRec.Events)
+
+	warmRec := &trace.Recorder{}
+	warm := sharedMemoScenario(3)
+	warm.EpochMemo = store
+	warm.Trace = warmRec
+	if _, err := Run(warm); err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, _ := json.Marshal(warmRec.Events)
+
+	if store.Stats().Hits == 0 {
+		t.Fatal("warm run never hit the store; the comparison is vacuous")
+	}
+	if string(coldJSON) != string(warmJSON) {
+		t.Fatal("warm-store event stream differs from cold stream")
+	}
+}
+
+// TestTraceSerialParallelStreamsIdentical pins the batch half: per-
+// scenario event streams from a parallel RunScenarios are byte-identical
+// to the serial run's. Runs under -race in CI.
+func TestTraceSerialParallelStreamsIdentical(t *testing.T) {
+	build := func() ([]Scenario, []*trace.Recorder) {
+		names := []string{"crc32", "sha", "bitcount"}
+		scs := make([]Scenario, len(names))
+		recs := make([]*trace.Recorder, len(names))
+		for i, n := range names {
+			recs[i] = &trace.Recorder{}
+			scs[i] = Scenario{
+				Geom:       fabric.NewGeometry(2, 8),
+				Factory:    dse.BaselineFactory,
+				Mix:        []string{n},
+				EpochYears: 0.5,
+				MaxYears:   2,
+				Trace:      recs[i],
+			}
+		}
+		return scs, recs
+	}
+
+	serialScs, serialRecs := build()
+	if _, err := RunScenarios(serialScs, 1); err != nil {
+		t.Fatal(err)
+	}
+	parallelScs, parallelRecs := build()
+	if _, err := RunScenarios(parallelScs, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range serialRecs {
+		s, _ := json.Marshal(serialRecs[i].Events)
+		p, _ := json.Marshal(parallelRecs[i].Events)
+		if string(s) != string(p) {
+			t.Errorf("scenario %d: parallel event stream differs from serial", i)
+		}
+	}
+}
+
+// TestTraceSnapshotShape sanity-checks the heatmap snapshots: one per
+// epoch, row-major series sized to the geometry, wear monotonically
+// non-decreasing per cell, and the injected dead cells present in the
+// dead index list from the first snapshot on.
+func TestTraceSnapshotShape(t *testing.T) {
+	rec := &trace.Recorder{}
+	g := fabric.NewGeometry(2, 8)
+	sc := Scenario{
+		Geom:        g,
+		Factory:     dse.BaselineFactory,
+		Mix:         []string{"crc32"},
+		EpochYears:  0.5,
+		MaxYears:    2,
+		InitialDead: []fabric.Cell{{Row: 1, Col: 3}},
+		Trace:       rec,
+	}
+	if _, err := Run(sc); err != nil {
+		t.Fatal(err)
+	}
+	var prevWear []float64
+	snaps := 0
+	for _, ev := range rec.Events {
+		if ev.Kind != trace.KindSnapshot {
+			continue
+		}
+		snaps++
+		if ev.Rows != g.Rows || ev.Cols != g.Cols {
+			t.Fatalf("snapshot geometry %dx%d, want %dx%d", ev.Rows, ev.Cols, g.Rows, g.Cols)
+		}
+		if len(ev.Duty) != g.NumFUs() || len(ev.WearYears) != g.NumFUs() {
+			t.Fatalf("snapshot series sized %d/%d, want %d", len(ev.Duty), len(ev.WearYears), g.NumFUs())
+		}
+		deadIdx := 1*g.Cols + 3
+		found := false
+		for _, i := range ev.Dead {
+			if i == deadIdx {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("snapshot at %gy misses injected dead cell index %d: %v", ev.Years, deadIdx, ev.Dead)
+		}
+		for i, w := range ev.WearYears {
+			if prevWear != nil && w < prevWear[i] {
+				t.Fatalf("wear shrank at cell %d: %g -> %g", i, prevWear[i], w)
+			}
+		}
+		prevWear = ev.WearYears
+	}
+	if snaps != 4 {
+		t.Fatalf("want 4 snapshots, got %d", snaps)
+	}
+}

@@ -62,6 +62,12 @@ type entry struct {
 	once sync.Once
 	val  any
 	err  error
+	// done reports that the single-flight computation has completed; it is
+	// guarded by Store.mu. Entries still in flight are exempt from LRU
+	// eviction (see evictLocked): evicting one would detach the map entry
+	// from the running computation, so a racing caller of the same key
+	// would silently start a duplicate.
+	done bool
 }
 
 // Store is a content-addressed LRU memo map. Safe for concurrent use.
@@ -98,19 +104,28 @@ func (s *Store) lookup(key any) (e *entry, created bool) {
 	e = &entry{key: key}
 	e.elem = s.lru.PushFront(e)
 	s.m[key] = e
-	if s.cap > 0 {
-		for len(s.m) > s.cap {
-			back := s.lru.Back()
-			if back == nil {
-				break
-			}
-			victim := back.Value.(*entry)
+	s.evictLocked()
+	return e, true
+}
+
+// evictLocked trims the store to capacity, walking from the LRU tail and
+// skipping entries whose computation is still in flight. The store may
+// therefore sit temporarily over capacity while computations run;
+// GetOrCompute re-trims as each one completes. Requires s.mu held.
+func (s *Store) evictLocked() {
+	if s.cap <= 0 {
+		return
+	}
+	for back := s.lru.Back(); back != nil && len(s.m) > s.cap; {
+		victim := back.Value.(*entry)
+		prev := back.Prev()
+		if victim.done {
 			s.lru.Remove(back)
 			delete(s.m, victim.key)
 			s.evictions++
 		}
+		back = prev
 	}
-	return e, true
 }
 
 // GetOrCompute returns the memoized value for key, running compute at most
@@ -120,7 +135,15 @@ func (s *Store) lookup(key any) (e *entry, created bool) {
 // value must be treated as immutable.
 func (s *Store) GetOrCompute(key any, compute func() (any, error)) (any, error) {
 	e, _ := s.lookup(key)
-	e.once.Do(func() { e.val, e.err = compute() })
+	e.once.Do(func() {
+		e.val, e.err = compute()
+		// Only now may the LRU evict this entry; trim any over-capacity
+		// slack that eviction deferred while the computation ran.
+		s.mu.Lock()
+		e.done = true
+		s.evictLocked()
+		s.mu.Unlock()
+	})
 	return e.val, e.err
 }
 

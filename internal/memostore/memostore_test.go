@@ -3,6 +3,7 @@ package memostore
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -152,5 +153,73 @@ func TestStructKeys(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatal("distinct struct keys collided")
+	}
+}
+
+// TestInFlightEntryNotEvicted pins the eviction fix: an entry whose
+// computation is still running must not be evicted by the LRU bound —
+// eviction would detach the map entry from the running computation, so a
+// racing caller of the same key would start a duplicate. The store sits
+// temporarily over capacity instead and trims once the computation lands.
+func TestInFlightEntryNotEvicted(t *testing.T) {
+	s := New(1)
+	var aCalls atomic.Int64
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	results := make(chan any, 2)
+
+	// First caller of "a": blocks mid-computation.
+	go func() {
+		v, _ := s.GetOrCompute("a", func() (any, error) {
+			aCalls.Add(1)
+			close(entered)
+			<-block
+			return "A", nil
+		})
+		results <- v
+	}()
+	<-entered
+
+	// "b" lands while "a" is in flight; with cap=1 the old code evicted the
+	// in-flight "a" here. Instead the LRU skips "a" and trims the completed
+	// "b" itself once its computation lands — capacity is honored by
+	// sacrificing the evictable entry, never the in-flight one.
+	if v, err := s.GetOrCompute("b", func() (any, error) { return "B", nil }); err != nil || v != "B" {
+		t.Fatalf("b: got %v, %v", v, err)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("want the completed \"b\" evicted and \"a\" kept: %+v", st)
+	}
+
+	// Second caller of "a" must join the in-flight computation, not start
+	// its own. Its lookup registers as a hit; wait for that before
+	// unblocking so the join provably raced with the running computation.
+	go func() {
+		v, _ := s.GetOrCompute("a", func() (any, error) {
+			aCalls.Add(1)
+			return "duplicate", nil
+		})
+		results <- v
+	}()
+	for s.Stats().Hits < 1 {
+		runtime.Gosched()
+	}
+	close(block)
+
+	for i := 0; i < 2; i++ {
+		if v := <-results; v != "A" {
+			t.Fatalf("caller %d of \"a\" got %v, want shared \"A\"", i, v)
+		}
+	}
+	if n := aCalls.Load(); n != 1 {
+		t.Fatalf("computation of \"a\" ran %d times, want 1 (single-flight)", n)
+	}
+	// At rest: exactly one resident entry, and it is "a" — a further call
+	// hits the memo without recomputing.
+	if v, _ := s.GetOrCompute("a", func() (any, error) { return "recomputed", nil }); v != "A" {
+		t.Fatalf("\"a\" lost after completion: got %v", v)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("store not at capacity after completion: %+v", st)
 	}
 }

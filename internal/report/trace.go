@@ -1,0 +1,285 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"strconv"
+	"strings"
+
+	"agingcgra/internal/trace"
+)
+
+// fmtFloat renders a float for CSV with the shortest round-trip form, so
+// the artifacts are byte-stable across runs.
+func fmtFloat(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func fmtCell(e trace.Event) string {
+	if e.Cell == nil {
+		return ""
+	}
+	return fmt.Sprintf("r%dc%d", e.Cell.Row, e.Cell.Col)
+}
+
+func fmtBool(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// TraceEventsCSV writes every non-snapshot event as one CSV row: the
+// flat event schema with a scenario column, in emission order. Snapshot
+// events carry per-cell series and go to TraceSnapshotsCSV instead.
+func TraceEventsCSV(w io.Writer, events []trace.Event) error {
+	header := []string{
+		"scenario", "epoch", "years", "kind", "cell", "age_years",
+		"truth_dead", "count", "detected", "escapes", "replayed",
+		"speedup", "alive_fraction", "worst_util", "mean_util",
+		"offloads", "deaths", "search_cycles", "recovery_cycles",
+	}
+	var rows [][]string
+	for _, e := range events {
+		if e.Kind == trace.KindSnapshot {
+			continue
+		}
+		rows = append(rows, []string{
+			e.Scenario,
+			strconv.Itoa(e.Epoch),
+			fmtFloat(e.Years),
+			e.Kind,
+			fmtCell(e),
+			fmtFloat(e.AgeYears),
+			fmtBool(e.TruthDead),
+			strconv.FormatUint(e.Count, 10),
+			strconv.FormatUint(e.Detected, 10),
+			strconv.FormatUint(e.Escapes, 10),
+			fmtBool(e.Replayed),
+			fmtFloat(e.Speedup),
+			fmtFloat(e.AliveFraction),
+			fmtFloat(e.WorstUtil),
+			fmtFloat(e.MeanUtil),
+			strconv.FormatUint(e.Offloads, 10),
+			strconv.Itoa(e.Deaths),
+			fmtFloat(e.SearchCycles),
+			fmtFloat(e.RecoveryCycles),
+		})
+	}
+	return WriteCSV(w, header, rows)
+}
+
+// TraceSnapshotsCSV writes the heatmap snapshots in long format: one row
+// per FU per snapshot (scenario, epoch, cell position, duty, accumulated
+// wear, ground-truth dead flag, observed-dead flag), ready for pivoting
+// into the Fig. 7-style per-FU density plots.
+func TraceSnapshotsCSV(w io.Writer, events []trace.Event) error {
+	header := []string{
+		"scenario", "epoch", "years", "row", "col",
+		"duty", "wear_years", "dead", "observed_dead",
+	}
+	var rows [][]string
+	for _, e := range events {
+		if e.Kind != trace.KindSnapshot || e.Cols == 0 {
+			continue
+		}
+		dead := make(map[int]bool, len(e.Dead))
+		for _, i := range e.Dead {
+			dead[i] = true
+		}
+		observed := make(map[int]bool, len(e.ObservedDead))
+		for _, i := range e.ObservedDead {
+			observed[i] = true
+		}
+		for i := range e.Duty {
+			wearYears := 0.0
+			if i < len(e.WearYears) {
+				wearYears = e.WearYears[i]
+			}
+			rows = append(rows, []string{
+				e.Scenario,
+				strconv.Itoa(e.Epoch),
+				fmtFloat(e.Years),
+				strconv.Itoa(i / e.Cols),
+				strconv.Itoa(i % e.Cols),
+				fmtFloat(e.Duty[i]),
+				fmtFloat(wearYears),
+				fmtBool(dead[i]),
+				fmtBool(observed[i]),
+			})
+		}
+	}
+	return WriteCSV(w, header, rows)
+}
+
+// TraceHTML writes a standalone, self-contained observability report: a
+// per-snapshot heatmap grid (duty or accumulated wear per FU, dead cells
+// crossed out), the death/quarantine timeline, and the per-epoch
+// search/recovery cost strip — one section per scenario, no external
+// resources. The output is a pure function of the event list, so it is
+// golden-testable byte for byte.
+func TraceHTML(w io.Writer, title string, events []trace.Event) error {
+	data, err := json.Marshal(events)
+	if err != nil {
+		return err
+	}
+	page := strings.NewReplacer(
+		"__TITLE__", html.EscapeString(title),
+		"__DATA__", string(data), // json.Marshal escapes <, >, & — script-safe
+	).Replace(traceHTMLPage)
+	_, err = io.WriteString(w, page)
+	return err
+}
+
+const traceHTMLPage = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+body { font: 13px/1.5 system-ui, sans-serif; margin: 1.5em; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin: 1.4em 0 .4em; }
+h3 { font-size: .95em; margin: 1em 0 .3em; color: #444; }
+.legend { color: #666; font-size: .85em; margin: .2em 0 .8em; }
+.snaps { display: flex; flex-wrap: wrap; gap: 10px; }
+.snap { text-align: center; }
+.snap .cap { font-size: .75em; color: #555; }
+.grid { border-collapse: collapse; }
+.grid td { width: 14px; height: 14px; border: 1px solid #ddd; font-size: 0; }
+.grid td.dead { background: #111 !important; position: relative; }
+.grid td.obs { outline: 2px solid #e91e63; outline-offset: -2px; }
+.timeline { position: relative; height: 64px; border-left: 1px solid #999;
+  border-bottom: 1px solid #999; margin: .5em 0 1.5em; }
+.timeline .ev { position: absolute; bottom: 0; width: 2px; height: 40px; }
+.timeline .death { background: #c62828; }
+.timeline .quarantine { background: #e91e63; height: 26px; }
+.timeline .reinstate { background: #2e7d32; height: 26px; }
+.timeline .tick { position: absolute; bottom: -18px; font-size: .7em; color: #666;
+  transform: translateX(-50%); }
+.costs { display: flex; align-items: flex-end; gap: 1px; height: 60px;
+  border-left: 1px solid #999; border-bottom: 1px solid #999; margin-bottom: 1.5em; }
+.costs .bar { width: 10px; background: #1565c0; }
+.costs .bar .rec { background: #ef6c00; width: 100%; }
+.costs .bar.replayed { opacity: .45; }
+table.kpi { border-collapse: collapse; margin: .3em 0 .8em; }
+table.kpi td, table.kpi th { border: 1px solid #ccc; padding: 2px 8px; font-size: .85em; }
+select { margin-bottom: .6em; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+<p class="legend">Heatmaps: one grid per epoch snapshot; black = dead FU,
+pink outline = quarantined (observed dead). Timeline: red = death,
+pink = quarantine, green = reinstate. Cost strip: blue = search cycles,
+orange = recovery cycles; faded bars are memo-replayed epochs.</p>
+<label>Heatmap metric:
+<select id="metric"><option value="duty">duty cycle</option>
+<option value="wear">accumulated wear (years)</option></select></label>
+<div id="app"></div>
+<script>
+"use strict";
+const EVENTS = __DATA__;
+const byScenario = new Map();
+for (const e of EVENTS) {
+  if (!byScenario.has(e.scenario)) byScenario.set(e.scenario, []);
+  byScenario.get(e.scenario).push(e);
+}
+const app = document.getElementById("app");
+function el(tag, cls, parent) {
+  const n = document.createElement(tag);
+  if (cls) n.className = cls;
+  if (parent) parent.appendChild(n);
+  return n;
+}
+function heat(v, max) {
+  const t = max > 0 ? Math.min(v / max, 1) : 0;
+  const l = 95 - 55 * t;
+  return "hsl(" + (220 - 180 * t) + ",85%," + l + "%)";
+}
+function render() {
+  app.textContent = "";
+  const metric = document.getElementById("metric").value;
+  for (const [name, evs] of byScenario) {
+    const sec = el("section", "", app);
+    el("h2", "", sec).textContent = name;
+    const snaps = evs.filter(e => e.kind === "snapshot");
+    const epochs = evs.filter(e => e.kind === "epoch");
+    const maxYears = evs.length ? Math.max(...evs.map(e => e.years)) : 0;
+
+    const kpi = el("table", "kpi", sec);
+    const last = epochs[epochs.length - 1];
+    kpi.innerHTML = "<tr><th>epochs</th><th>replayed</th><th>final speedup</th>" +
+      "<th>final alive</th><th>deaths</th></tr>" +
+      "<tr><td>" + epochs.length + "</td><td>" +
+      epochs.filter(e => e.replayed).length + "</td><td>" +
+      (last ? (last.speedup || 0).toFixed(2) : "-") + "</td><td>" +
+      (last ? (100 * (last.alive_fraction || 0)).toFixed(0) + "%" : "-") + "</td><td>" +
+      evs.filter(e => e.kind === "death").length + "</td></tr>";
+
+    el("h3", "", sec).textContent = "per-FU " +
+      (metric === "duty" ? "duty" : "wear") + " heatmaps";
+    const strip = el("div", "snaps", sec);
+    const series = s => metric === "duty" ? (s.duty || []) : (s.wear_years || []);
+    const maxV = Math.max(0, ...snaps.flatMap(s => series(s)));
+    for (const s of snaps) {
+      const box = el("div", "snap", strip);
+      const grid = el("table", "grid", box);
+      const dead = new Set(s.dead || []), obs = new Set(s.observed_dead || []);
+      const vals = series(s);
+      for (let r = 0; r < (s.rows || 0); r++) {
+        const tr = el("tr", "", grid);
+        for (let c = 0; c < (s.cols || 0); c++) {
+          const i = r * s.cols + c;
+          const td = el("td", "", tr);
+          const v = vals[i] || 0;
+          td.style.background = heat(v, maxV);
+          td.title = "r" + r + "c" + c + ": " + v.toFixed(3);
+          if (dead.has(i)) td.className = "dead";
+          else if (obs.has(i)) td.className = "obs";
+        }
+      }
+      el("div", "cap", box).textContent = s.years.toFixed(1) + "y";
+    }
+
+    el("h3", "", sec).textContent = "death / quarantine timeline";
+    const tl = el("div", "timeline", sec);
+    for (const e of evs) {
+      if (e.kind !== "death" && e.kind !== "quarantine" && e.kind !== "reinstate") continue;
+      const m = el("div", "ev " + e.kind, tl);
+      const y = e.kind === "death" ? e.age_years : e.years;
+      m.style.left = (maxYears > 0 ? 100 * y / maxYears : 0) + "%";
+      m.title = e.kind + (e.cell ? " r" + e.cell.Row + "c" + e.cell.Col : "") +
+        " @ " + y.toFixed(2) + "y";
+    }
+    for (let y = 0; y <= maxYears; y += Math.max(1, Math.ceil(maxYears / 10))) {
+      const t = el("div", "tick", tl);
+      t.style.left = (maxYears > 0 ? 100 * y / maxYears : 0) + "%";
+      t.textContent = y + "y";
+    }
+
+    el("h3", "", sec).textContent = "search / recovery cost per epoch (cycles)";
+    const costs = el("div", "costs", sec);
+    const maxC = Math.max(1, ...epochs.map(e => e.search_cycles || 0));
+    for (const e of epochs) {
+      const total = e.search_cycles || 0, rec = e.recovery_cycles || 0;
+      const bar = el("div", "bar" + (e.replayed ? " replayed" : ""), costs);
+      bar.style.height = Math.max(1, 58 * total / maxC) + "px";
+      const r = el("div", "rec", bar);
+      r.style.height = (total > 0 ? 100 * rec / total : 0) + "%";
+      bar.title = "epoch " + e.epoch + ": " + total.toFixed(0) +
+        " search cycles (" + rec.toFixed(0) + " recovery)" +
+        (e.replayed ? " [replayed]" : "");
+    }
+  }
+}
+document.getElementById("metric").addEventListener("change", render);
+render();
+</script>
+</body>
+</html>
+`

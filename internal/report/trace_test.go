@@ -1,0 +1,133 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"agingcgra/internal/fabric"
+	"agingcgra/internal/trace"
+)
+
+// traceFixture is a small hand-built stream covering every renderer
+// branch: a cell-scoped event, a count-scoped event, an epoch summary
+// and a snapshot.
+func traceFixture() []trace.Event {
+	return []trace.Event{
+		{
+			Kind: trace.KindDeath, Scenario: "BE", Epoch: 2, Years: 1.5,
+			Cell: &fabric.Cell{Row: 1, Col: 3}, AgeYears: 1.25,
+		},
+		{
+			Kind: trace.KindFault, Scenario: "BE", Epoch: 2, Years: 1.5,
+			Count: 7, Detected: 5, Escapes: 2,
+		},
+		{
+			Kind: trace.KindEpoch, Scenario: "BE", Epoch: 2, Years: 1.5,
+			Replayed: true, Speedup: 2.25, AliveFraction: 0.875,
+			WorstUtil: 0.9, MeanUtil: 0.45, Offloads: 12, Deaths: 1,
+			SearchCycles: 1000, RecoveryCycles: 250,
+		},
+		{
+			Kind: trace.KindSnapshot, Scenario: "BE", Epoch: 2, Years: 1.5,
+			Rows: 2, Cols: 2,
+			Duty:      []float64{0, 0.5, 1, 0.25},
+			WearYears: []float64{0.1, 0.2, 0.3, 0.4},
+			Dead:      []int{2}, ObservedDead: []int{1},
+		},
+	}
+}
+
+func TestTraceEventsCSV(t *testing.T) {
+	var b strings.Builder
+	if err := TraceEventsCSV(&b, traceFixture()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + 3 rows (snapshot excluded), got %d lines:\n%s",
+			len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "scenario,epoch,years,kind,cell,") {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	if want := "BE,2,1.5,death,r1c3,1.25,0,"; !strings.HasPrefix(lines[1], want) {
+		t.Errorf("death row %q does not start with %q", lines[1], want)
+	}
+	if !strings.Contains(lines[2], ",fault,,0,0,7,5,2,") {
+		t.Errorf("fault row missing counts: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], ",epoch,") ||
+		!strings.Contains(lines[3], ",1,2.25,0.875,0.9,0.45,12,1,1000,250") {
+		t.Errorf("epoch row missing summary fields: %q", lines[3])
+	}
+}
+
+func TestTraceSnapshotsCSV(t *testing.T) {
+	var b strings.Builder
+	if err := TraceSnapshotsCSV(&b, traceFixture()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want header + 4 FU rows, got %d lines:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "scenario,epoch,years,row,col,duty,wear_years,dead,observed_dead" {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	// Index 1 is row 0 col 1, observed-dead; index 2 is row 1 col 0, dead.
+	if lines[2] != "BE,2,1.5,0,1,0.5,0.2,0,1" {
+		t.Errorf("observed-dead row: %q", lines[2])
+	}
+	if lines[3] != "BE,2,1.5,1,0,1,0.3,1,0" {
+		t.Errorf("dead row: %q", lines[3])
+	}
+}
+
+func TestTraceHTML(t *testing.T) {
+	var b strings.Builder
+	if err := TraceHTML(&b, `demo <&> run`, traceFixture()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "demo &lt;&amp;&gt; run") {
+		t.Error("title not HTML-escaped")
+	}
+	if !strings.Contains(out, `"kind":"snapshot"`) || !strings.Contains(out, `"wear_years"`) {
+		t.Error("event data not embedded")
+	}
+	if !strings.Contains(out, "<!doctype html>") || !strings.Contains(out, "</html>") {
+		t.Error("not a complete HTML document")
+	}
+	if strings.Contains(out, "http://") || strings.Contains(out, "https://") {
+		t.Error("report must be standalone: no external resources")
+	}
+}
+
+// TestTraceHTMLScriptSafe pins the injection guard: event text containing
+// a script terminator must not break out of the embedded JSON, because
+// json.Marshal escapes angle brackets.
+func TestTraceHTMLScriptSafe(t *testing.T) {
+	events := []trace.Event{{Kind: trace.KindEpoch, Scenario: `</script><script>alert(1)`}}
+	var b strings.Builder
+	if err := TraceHTML(&b, "t", events); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "</script><script>alert(1)") {
+		t.Fatal("scenario name escaped the script block")
+	}
+}
+
+// TestTraceCSVEmpty keeps the renderers total: an empty stream still
+// yields a header-only CSV, not an error.
+func TestTraceCSVEmpty(t *testing.T) {
+	var ev, snap strings.Builder
+	if err := TraceEventsCSV(&ev, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := TraceSnapshotsCSV(&snap, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(ev.String(), "\n") != 1 || strings.Count(snap.String(), "\n") != 1 {
+		t.Error("empty stream should render a header-only CSV")
+	}
+}

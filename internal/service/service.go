@@ -89,6 +89,7 @@ func New(o Options) *Server {
 	mux := http.NewServeMux()
 	s.route(mux, "/healthz", http.MethodGet, s.handleHealthz)
 	s.route(mux, "/v1/lifetime", http.MethodPost, s.handleLifetime)
+	s.route(mux, "/v1/lifetime/stream", http.MethodPost, s.handleLifetimeStream)
 	s.route(mux, "/v1/batch", http.MethodPost, s.handleBatch)
 	s.route(mux, "/v1/fleet", http.MethodPost, s.handleFleet)
 	s.route(mux, "/v1/stats", http.MethodGet, s.handleStats)

@@ -91,7 +91,8 @@ func Gini(xs []float64) float64 {
 // the smallest element with at least p% of the samples at or below it
 // (index ceil(p/100*N)-1 of the ascending sort). Nearest-rank always
 // returns an actual sample — no interpolation — so percentiles over death
-// ages stay real, attributable device outcomes. p is clamped to (0, 100];
+// ages stay real, attributable device outcomes. p is clamped into
+// [0, 100]: p <= 0 returns the minimum sample, p >= 100 the maximum.
 // NaN for empty input.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
@@ -99,11 +100,15 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
 	if p > 100 {
 		p = 100
 	}
 	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if idx < 0 {
+		// Tiny positive p: ceil(p/100*N) can still be 0; rank 1 applies.
 		idx = 0
 	}
 	return sorted[idx]

@@ -169,6 +169,8 @@ func TestPercentile(t *testing.T) {
 		{50, 35},  // ceil(2.5)=3
 		{100, 50}, // always the max
 		{150, 50}, // clamped to 100
+		{0, 15},   // lower clamp: p = 0 is the minimum sample
+		{-5, 15},  // lower clamp: negative p too
 	}
 	for _, c := range cases {
 		if got := Percentile(xs, c.p); got != c.want {
@@ -183,5 +185,11 @@ func TestPercentile(t *testing.T) {
 	Percentile(unsorted, 50)
 	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
 		t.Errorf("Percentile mutated its input: %v", unsorted)
+	}
+	// A single sample is every percentile of itself.
+	for _, p := range []float64{-1, 0, 50, 100, 200} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Errorf("Percentile([7], %v) = %v, want 7", p, got)
+		}
 	}
 }

@@ -1,0 +1,125 @@
+// Package trace is the lifetime simulator's observability layer: a
+// deterministic per-epoch event stream (epoch resolved, cell deaths,
+// fault activity, quarantine/reinstate transitions, remap rescues, GPP
+// fallbacks) plus per-FU duty/wear heatmap snapshots, emitted by
+// internal/lifetime behind an opt-in Sink and rendered by cgra-lifetime
+// (CSV + self-contained HTML) and the cgra-lifetimed streaming endpoint
+// (NDJSON).
+//
+// The contract that makes the layer more than logging:
+//
+//   - The event stream is a pure function of (scenario, seed): identical
+//     serial vs parallel, warm vs cold epoch store, traced vs untraced
+//     simulation outcome. Every event is derived either from state the
+//     epoch loop recomputes every epoch (aging deaths, wear, health) or
+//     from the memoized epoch outcome itself, which replayed epochs
+//     re-add verbatim — so a memo-replayed epoch re-emits the same events
+//     its original simulation did, mirroring how search and recovery
+//     stat deltas are re-added.
+//   - Tracing is observation-only: a nil Sink short-circuits every
+//     emission site, so the untraced hot path allocates nothing and the
+//     traced run's Result is byte-identical to the untraced run's.
+package trace
+
+import "agingcgra/internal/fabric"
+
+// Event kinds, in the order they can appear within one epoch.
+const (
+	// KindFault reports an epoch's fault-manifestation activity (faulted
+	// executions, checker detections, silent escapes). Recurs on replayed
+	// epochs: a steady state keeps faulting even when the simulator
+	// memoized the outcome.
+	KindFault = "fault"
+	// KindQuarantine and KindReinstate are the monitor's per-cell
+	// transitions. They only ever occur on freshly simulated epochs: a
+	// transition bumps the monitor version, so the next epoch's memo key
+	// differs and cannot replay.
+	KindQuarantine = "quarantine"
+	KindReinstate  = "reinstate"
+	// KindRemapRescue counts the epoch's offloads kept on-fabric by a
+	// shape-adaptive remap (the allocator substituted an architecturally
+	// equivalent reshaped configuration).
+	KindRemapRescue = "remap_rescue"
+	// KindGPPFallback counts the epoch's offloads the placement refused —
+	// every pivot would drive a failed FU and no alternative shape fit —
+	// so the step retired on the GPP.
+	KindGPPFallback = "gpp_fallback"
+	// KindDeath is one FU crossing end-of-life, at its interpolated age.
+	KindDeath = "death"
+	// KindEpoch is the epoch-resolved summary (always emitted, last
+	// regular event of the epoch).
+	KindEpoch = "epoch"
+	// KindSnapshot is the per-FU duty/wear heatmap at the epoch boundary.
+	KindSnapshot = "snapshot"
+)
+
+// Event is one observability record. The struct is deliberately flat —
+// one shape for every kind, unused fields omitted from JSON — so NDJSON
+// consumers and the CSV renderer stay schema-free. Slices in snapshot
+// events are copies owned by the receiver.
+type Event struct {
+	Kind string `json:"kind"`
+	// Scenario is the emitting scenario's resolved name.
+	Scenario string `json:"scenario,omitempty"`
+	// Epoch is the step index, Years the cumulative age at the end of the
+	// epoch the event belongs to.
+	Epoch int     `json:"epoch"`
+	Years float64 `json:"years"`
+
+	// Cell-scoped fields (death, quarantine, reinstate). AgeYears is the
+	// interpolated death age for deaths; TruthDead cross-references a
+	// quarantine against ground truth.
+	Cell      *fabric.Cell `json:"cell,omitempty"`
+	AgeYears  float64      `json:"age_years,omitempty"`
+	TruthDead bool         `json:"truth_dead,omitempty"`
+
+	// Count-scoped fields (fault, remap_rescue, gpp_fallback). For fault
+	// events Count is the faulted executions; Detected and Escapes break
+	// out the checker's view.
+	Count    uint64 `json:"count,omitempty"`
+	Detected uint64 `json:"detected,omitempty"`
+	Escapes  uint64 `json:"escapes,omitempty"`
+
+	// Epoch-summary fields (epoch).
+	Replayed       bool    `json:"replayed,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+	AliveFraction  float64 `json:"alive_fraction,omitempty"`
+	WorstUtil      float64 `json:"worst_util,omitempty"`
+	MeanUtil       float64 `json:"mean_util,omitempty"`
+	Offloads       uint64  `json:"offloads,omitempty"`
+	Deaths         int     `json:"deaths,omitempty"`
+	SearchCycles   float64 `json:"search_cycles,omitempty"`
+	RecoveryCycles float64 `json:"recovery_cycles,omitempty"`
+
+	// Heatmap fields (snapshot): row-major per-FU series over a
+	// Rows x Cols grid, plus the dead-cell indices (ground truth) and the
+	// runtime's observed-dead indices when a recovery monitor is running.
+	Rows         int       `json:"rows,omitempty"`
+	Cols         int       `json:"cols,omitempty"`
+	Duty         []float64 `json:"duty,omitempty"`
+	WearYears    []float64 `json:"wear_years,omitempty"`
+	Dead         []int     `json:"dead,omitempty"`
+	ObservedDead []int     `json:"observed_dead,omitempty"`
+}
+
+// Sink receives the event stream of one scenario run. Emit is called
+// from the goroutine running the scenario, strictly ordered; a Sink used
+// by one Run needs no internal locking.
+type Sink interface {
+	Emit(Event)
+}
+
+// Recorder is a Sink that collects every event in emission order.
+type Recorder struct {
+	Events []Event
+}
+
+// Emit appends ev.
+func (r *Recorder) Emit(ev Event) { r.Events = append(r.Events, ev) }
+
+// Func adapts a function to the Sink interface (the streaming endpoint's
+// NDJSON writer).
+type Func func(Event)
+
+// Emit calls f.
+func (f Func) Emit(ev Event) { f(ev) }
