@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //cgravet:ignore comment.
+//
+//	//cgravet:ignore <analyzer> <reason>
+//
+// A valid directive (known analyzer, non-empty reason) suppresses that
+// analyzer's findings on the lines [startLine, endLine]: its own line
+// and the next (covering both trailing and stand-alone placement), or
+// the whole declaration when it sits in the doc comment of a top-level
+// decl — the form used to annotate a deliberately exempt function.
+type directive struct {
+	pos       token.Pos
+	file      string
+	startLine int
+	endLine   int
+	analyzer  string
+	reason    string
+	valid     bool
+	// problem describes why the directive is invalid ("" when valid);
+	// reported by the directive analyzer.
+	problem string
+}
+
+const (
+	directiveName   = "directive"
+	directivePrefix = "//cgravet:ignore"
+)
+
+// DirectiveAnalyzer validates //cgravet:ignore directives. The reason
+// is mandatory and the analyzer name must exist: a directive that
+// fails either check is itself a finding and suppresses nothing, so
+// every exception stays visible and auditable.
+var DirectiveAnalyzer = &Analyzer{
+	Name: directiveName,
+	Doc:  "validate //cgravet:ignore directives (mandatory reason, known analyzer name)",
+	// Run is dispatched specially by the driver (it needs the parsed
+	// directives and the known-analyzer set); this stub keeps the
+	// Analyzer shape uniform for flag registration.
+	Run: func(*Pass) error { return nil },
+}
+
+// parseDirectives extracts every cgravet directive from the file,
+// resolving each one's suppression scope against the AST.
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parseDirectiveComment(fset, c)
+			if !ok {
+				continue
+			}
+			// A directive inside a top-level declaration's doc comment
+			// covers the whole declaration.
+			for _, decl := range f.Decls {
+				var doc *ast.CommentGroup
+				switch dd := decl.(type) {
+				case *ast.FuncDecl:
+					doc = dd.Doc
+				case *ast.GenDecl:
+					doc = dd.Doc
+				}
+				if doc == nil || c.Pos() < doc.Pos() || c.End() > doc.End() {
+					continue
+				}
+				d.startLine = fset.Position(decl.Pos()).Line
+				d.endLine = fset.Position(decl.End()).Line
+				break
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// parseDirectiveComment parses a single comment; ok is false when the
+// comment is not a cgravet directive at all. Near-miss spellings
+// ("// cgravet:ignore", "//cgravet:skip") come back as invalid
+// directives so they are reported instead of silently inert.
+func parseDirectiveComment(fset *token.FileSet, c *ast.Comment) (directive, bool) {
+	text := c.Text
+	pos := fset.Position(c.Pos())
+	d := directive{
+		pos:       c.Pos(),
+		file:      pos.Filename,
+		startLine: pos.Line,
+		endLine:   pos.Line + 1,
+	}
+	switch {
+	case strings.HasPrefix(text, directivePrefix):
+		rest := text[len(directivePrefix):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			// e.g. //cgravet:ignoreX — not a directive.
+			return directive{}, false
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			d.problem = "missing analyzer name and reason: want //cgravet:ignore <analyzer> <reason>"
+			return d, true
+		}
+		d.analyzer = fields[0]
+		d.reason = strings.Join(fields[1:], " ")
+		if d.reason == "" {
+			d.problem = "missing reason: want //cgravet:ignore " + d.analyzer + " <why this exception is safe>"
+			return d, true
+		}
+		d.valid = true
+		return d, true
+	case strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "cgravet:"):
+		// "// cgravet:ignore ..." or an unknown cgravet verb: a typo'd
+		// directive that would otherwise silently not suppress.
+		d.problem = "malformed cgravet directive: want //cgravet:ignore <analyzer> <reason> (no space after //)"
+		return d, true
+	}
+	return directive{}, false
+}
+
+// runDirectiveCheck reports invalid directives and directives naming
+// unknown analyzers.
+func runDirectiveCheck(pass *Pass, dirs []directive, known map[string]bool) error {
+	for _, d := range dirs {
+		switch {
+		case !d.valid:
+			pass.Reportf(d.pos, "%s", d.problem)
+		case !known[d.analyzer]:
+			pass.Reportf(d.pos, "unknown analyzer %q in //cgravet:ignore directive", d.analyzer)
+		}
+	}
+	return nil
+}

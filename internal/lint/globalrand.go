@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Globalrand enforces the PR 6 PRNG keying rule in simulation
+// packages: every pseudo-random draw must come from explicitly seeded
+// local state — splitmix64-style hashing of (seed, epoch, stream,
+// cell, counter), or at minimum rand.New(rand.NewSource(seed)) — never
+// from math/rand's process-global generator. A global draw is shared
+// mutable state: goroutine interleaving orders the draws, which is
+// exactly how serial and parallel runs stop being byte-identical.
+//
+// Constructors that build local state (rand.New, rand.NewSource,
+// rand.NewZipf, rand.NewPCG, rand.NewChaCha8) are allowed; every other
+// package-level function of math/rand or math/rand/v2 (Intn, Float64,
+// Perm, Shuffle, Seed, ...) draws from or reseeds the global source
+// and is flagged.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid draws from math/rand's global PRNG in simulation packages (seeded local state only)",
+	Run:  runGlobalrand,
+}
+
+// globalrandAllowed lists the math/rand package-level functions that
+// construct local generator state rather than touching the global one.
+var globalrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runGlobalrand(pass *Pass) error {
+	if !pass.InSimulationScope() {
+		return nil
+	}
+	// Test files are checked too: a global draw in a test makes the
+	// test itself irreproducible, and the seeded idiom
+	// rand.New(rand.NewSource(n)) passes untouched.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Only package-level *functions* touch the global source;
+			// type references (rand.Rand, rand.Source) are fine.
+			if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			if globalrandAllowed[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s draws from %s's process-global PRNG in simulation package %s; use explicitly seeded local state (splitmix64 keying or rand.New(rand.NewSource(seed))) so serial and parallel runs stay byte-identical",
+				sel.Sel.Name, path, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+// Package linttest is the project's analysistest equivalent: it loads
+// a fixture package from a testdata/src tree, type-checks it (module-
+// local imports resolve within the tree, standard-library imports
+// compile from GOROOT source), runs a set of lint analyzers through
+// the production lint.Analyze driver — directives and suppression
+// included — and compares the findings against `// want "regexp"`
+// comments in the fixtures.
+//
+// Fixture layout mirrors x/tools: testdata/src/<import/path>/*.go.
+// A want comment names every diagnostic expected on its line:
+//
+//	time.Now() // want `time\.Now reads the wall clock`
+//	x = 1      // want "never used" "second expectation"
+//
+// Expectations are Go string literals (quoted or backquoted), each a
+// regular expression matched against the diagnostic messages reported
+// on that line. Unmatched diagnostics and unmet expectations both fail
+// the test.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"agingcgra/internal/lint"
+)
+
+// Run loads the fixture package at testdata/src/<pkgpath> and checks
+// the analyzers' findings against the fixtures' want comments.
+func Run(t *testing.T, testdata string, analyzers []*lint.Analyzer, pkgpath string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	files, pkg, info, err := l.loadTarget(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	findings, err := lint.Analyze(l.fset, files, pkg, info, analyzers)
+	if err != nil {
+		t.Fatalf("analyzing fixture %s: %v", pkgpath, err)
+	}
+	checkWants(t, l.fset, files, findings)
+}
+
+// loader resolves imports for fixture packages: paths present under
+// root load (and type-check) from the fixture tree, everything else
+// comes from GOROOT source.
+type loader struct {
+	fset *token.FileSet
+	root string
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset: fset,
+		root: root,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
+}
+
+// Import implements types.Importer for dependency packages.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		_, pkg, _, err := l.check(path)
+		return pkg, err
+	}
+	return l.std.Import(path)
+}
+
+// loadTarget loads the package under test, keeping its syntax and
+// type info for the analyzers.
+func (l *loader) loadTarget(path string) ([]*ast.File, *types.Package, *types.Info, error) {
+	return l.check(path)
+}
+
+func (l *loader) check(path string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	l.pkgs[path] = pkg
+	return files, pkg, info, nil
+}
+
+// expectation is one want regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// checkWants matches findings against want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []lint.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(t, fset, c)...)
+			}
+		}
+	}
+
+	for _, f := range findings {
+		pos := fset.Position(f.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected %s diagnostic: %s", pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants extracts the expectations of one comment. The comment
+// text after "want" is a sequence of Go string literals. A line
+// offset — `// want-1 "re"` — anchors the expectation to a nearby
+// line, for diagnostics on lines fully occupied by the construct
+// under test (e.g. a trailing //cgravet:ignore directive).
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want") {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	rest := text[len("want"):]
+	offset := 0
+	if rest != "" && (rest[0] == '+' || rest[0] == '-') {
+		j := 1
+		for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+			j++
+		}
+		if j == 1 {
+			return nil
+		}
+		n, err := strconv.Atoi(rest[:j])
+		if err != nil {
+			return nil
+		}
+		offset = n
+		rest = rest[j:]
+	}
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return nil
+	}
+	rest = strings.TrimSpace(rest)
+	pos.Line += offset
+	var out []*expectation
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := matchDoubleQuote(rest)
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, rest)
+			}
+			lit = rest[:end+1]
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, rest)
+			}
+			lit = rest[:end+2]
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			t.Fatalf("%s: malformed want comment near %q (expect quoted regexps)", pos, rest)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, unq, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: unq})
+	}
+	return out
+}
+
+// matchDoubleQuote returns the index of the closing quote of the
+// double-quoted Go string literal at the start of s, or -1.
+func matchDoubleQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}

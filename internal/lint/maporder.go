@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Maporder flags the pattern by which Go's randomized map iteration
+// order leaks into outputs the project promises are byte-identical:
+// a `range` over a map whose body
+//
+//   - appends to a slice declared outside the loop that is never
+//     sorted afterwards in the same block,
+//   - writes to a writer/encoder/trace sink declared outside the loop
+//     (Write*, Encode, Emit, Fprint*, Print*), or
+//   - sends on a channel declared outside the loop.
+//
+// The blessed idiom is: collect the keys, sort them, then iterate the
+// sorted keys — an append that *is* sorted in the statements following
+// the loop passes. A genuinely order-independent use (e.g. feeding a
+// commutative reducer through a sink-shaped API) must be annotated:
+// //cgravet:ignore maporder <reason>.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose order reaches slices, encoders, or trace events unsorted",
+	Run:  runMaporder,
+}
+
+// maporderSinks is the method/function name set treated as emission:
+// once bytes or events leave through one of these in map-iteration
+// order, no later sort can fix them.
+var maporderSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteAll": true, "Encode": true, "Emit": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// maporderSorters maps package path → function names that establish a
+// deterministic order over a slice.
+var maporderSorters = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Strings": true, "Ints": true,
+		"Float64s": true, "Slice": true, "SliceStable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func runMaporder(pass *Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pass.checkMapRange(rs, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// pendingAppend tracks one append target awaiting a post-loop sort:
+// the root object plus the rendered expression path ("g.liveOuts"), so
+// sorting a sibling field of the same struct does not count.
+type pendingAppend struct {
+	obj types.Object
+	key string
+}
+
+// checkMapRange inspects one map-ranging loop.
+func (p *Pass) checkMapRange(rs *ast.RangeStmt, stack []ast.Node) {
+	// Pending appends: target (declared outside the body) → position
+	// of the first append, awaiting a post-loop sort.
+	pending := map[pendingAppend]ast.Node{}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if obj := p.rootObj(n.Chan); obj != nil && !declaredWithin(obj, rs.Body) {
+				p.Reportf(n.Pos(),
+					"send on %s inside map iteration publishes values in randomized map order; iterate sorted keys instead", obj.Name())
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !p.isBuiltinAppend(call) || i >= len(n.Lhs) {
+					continue
+				}
+				obj := p.rootObj(n.Lhs[i])
+				if obj == nil || declaredWithin(obj, rs.Body) {
+					continue
+				}
+				target := pendingAppend{obj: obj, key: exprKey(n.Lhs[i])}
+				if _, seen := pending[target]; !seen {
+					pending[target] = n
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !maporderSinks[sel.Sel.Name] {
+				return true
+			}
+			// Receiver (or the writer argument of an Fprint-style
+			// package function) declared inside the loop body is
+			// per-iteration state: order-independent.
+			target := ast.Expr(sel.X)
+			if _, isPkg := p.TypesInfo.Uses[firstIdent(sel.X)].(*types.PkgName); isPkg {
+				if len(n.Args) > 0 && (sel.Sel.Name == "Fprint" || sel.Sel.Name == "Fprintf" || sel.Sel.Name == "Fprintln") {
+					target = n.Args[0]
+				} else {
+					target = nil // Print/Printf/Println: process-global stdout.
+				}
+			}
+			if target != nil {
+				if obj := p.rootObj(target); obj != nil && declaredWithin(obj, rs.Body) {
+					return true
+				}
+			}
+			p.Reportf(n.Pos(),
+				"%s called inside map iteration emits in randomized map order; collect and sort the keys first (or annotate: //cgravet:ignore maporder <reason>)",
+				sel.Sel.Name)
+		}
+		return true
+	})
+
+	if len(pending) == 0 {
+		return
+	}
+	// An append target sorted in the same block after the loop is the
+	// blessed collect-then-sort idiom. Report in source order: pending
+	// is itself a map, and the linter must not emit in map order.
+	type failed struct {
+		target pendingAppend
+		at     ast.Node
+	}
+	var fails []failed
+	for target, at := range pending {
+		if p.sortedAfter(target, rs, stack) {
+			continue
+		}
+		fails = append(fails, failed{target, at})
+	}
+	sort.Slice(fails, func(i, j int) bool { return fails[i].at.Pos() < fails[j].at.Pos() })
+	for _, f := range fails {
+		p.Reportf(f.at.Pos(),
+			"append to %s inside map iteration records randomized map order and %s is never sorted afterwards in this block; sort it (sort./slices./a sort* helper) or iterate sorted keys",
+			f.target.key, f.target.key)
+	}
+}
+
+// sortedAfter reports whether a sorting call referencing the append
+// target appears in the statements following rs within its enclosing
+// block (or case clause). Three call shapes count: sort.* and
+// slices.Sort* from the standard library, and — by project convention
+// — any function or method whose name begins with "sort"/"Sort"
+// (e.g. dfg's sortRegs).
+func (p *Pass) sortedAfter(target pendingAppend, rs *ast.RangeStmt, stack []ast.Node) bool {
+	var after []ast.Stmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		for j, s := range list {
+			if lab, ok := s.(*ast.LabeledStmt); ok {
+				s = lab.Stmt
+			}
+			if s == ast.Stmt(rs) {
+				after = list[j+1:]
+				break
+			}
+		}
+		break
+	}
+	for _, s := range after {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !p.isSortCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if p.exprReferences(arg, target) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall recognizes calls that establish a deterministic order.
+func (p *Pass) isSortCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		// Local helper by naming convention: sortRegs(xs), SortRows(xs).
+		return hasSortPrefix(fun.Name)
+	case *ast.SelectorExpr:
+		if pkgIdent, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := p.TypesInfo.Uses[pkgIdent].(*types.PkgName); ok {
+				names := maporderSorters[pn.Imported().Path()]
+				return names != nil && names[fun.Sel.Name]
+			}
+		}
+		// Method by naming convention: t.sortRows().
+		return hasSortPrefix(fun.Sel.Name)
+	}
+	return false
+}
+
+func hasSortPrefix(name string) bool {
+	return strings.HasPrefix(name, "sort") || strings.HasPrefix(name, "Sort")
+}
+
+// exprReferences reports whether some subexpression of e denotes the
+// same path as target (same root object, same rendered selector path).
+func (p *Pass) exprReferences(e ast.Expr, target pendingAppend) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ne, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if exprKey(ne) == target.key && p.rootObj(ne) == target.obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprKey renders an ident/selector/star/paren chain as a stable path
+// string ("g.liveOuts"); "" for expressions with any other shape.
+func exprKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(x.X)
+	case *ast.StarExpr:
+		return exprKey(x.X)
+	}
+	return ""
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func (p *Pass) isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootObj returns the object of the leftmost identifier of an
+// expression like x, x.f, x[i], *x, or (x).f; nil when there is none.
+func (p *Pass) rootObj(e ast.Expr) types.Object {
+	return p.objectOf(firstIdent(e))
+}
+
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// firstIdent returns the leftmost identifier of a selector/index/star
+// chain, or nil.
+func firstIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}

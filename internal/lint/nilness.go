@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilness is a standard-library reimplementation of the core pattern
+// of the stock x/tools nilness analyzer (the real one needs SSA from
+// golang.org/x/tools, which this dependency-free tree cannot import):
+// inside the branch where a value is known to be nil — the body of
+// `if x == nil`, or the else of `if x != nil` — any use of x that
+// would panic is reported:
+//
+//   - field access / method call / dereference of a nil pointer,
+//   - method call through a nil interface,
+//   - call of a nil func value,
+//   - index or slice of a nil slice,
+//   - write into a nil map (reads of nil maps are legal),
+//   - send or receive on a nil channel (blocks forever).
+//
+// Scanning stops at the first reassignment of x (or capture of &x)
+// inside the branch, so the guard-then-initialize idiom passes.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc:  "report uses of provably nil values (stdlib subset of the stock nilness check)",
+	Run:  runNilness,
+}
+
+func runNilness(pass *Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj, nilBranch := pass.nilComparison(ifs)
+			if obj == nil || nilBranch == nil {
+				return true
+			}
+			pass.checkNilBranch(obj, nilBranch)
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparison recognizes `if x == nil` / `if x != nil` over a plain
+// identifier (with no init statement re-binding x) and returns x's
+// object plus the branch in which x is nil.
+func (p *Pass) nilComparison(ifs *ast.IfStmt) (types.Object, *ast.BlockStmt) {
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, nil
+	}
+	var identSide ast.Expr
+	switch {
+	case isNilIdent(p, bin.Y):
+		identSide = bin.X
+	case isNilIdent(p, bin.X):
+		identSide = bin.Y
+	default:
+		return nil, nil
+	}
+	id, ok := identSide.(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	obj := p.objectOf(id)
+	if obj == nil {
+		return nil, nil
+	}
+	if bin.Op == token.EQL {
+		return obj, ifs.Body
+	}
+	if els, ok := ifs.Else.(*ast.BlockStmt); ok {
+		return obj, els
+	}
+	return nil, nil
+}
+
+func isNilIdent(p *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.objectOf(id).(*types.Nil)
+	return isNil
+}
+
+// checkNilBranch walks the nil branch in source order, reporting
+// panicking uses of obj until obj is reassigned (or its address is
+// taken, after which we know nothing).
+func (p *Pass) checkNilBranch(obj types.Object, body *ast.BlockStmt) {
+	t := obj.Type()
+	if t == nil {
+		return
+	}
+	stopped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if stopped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// RHS is evaluated before the assignment takes effect, so
+			// inspect it first, then stop if obj is a target.
+			for _, rhs := range n.Rhs {
+				p.checkNilUses(obj, t, rhs, &stopped)
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && p.objectOf(id) == obj {
+					stopped = true
+					continue
+				}
+				if ix, ok := lhs.(*ast.IndexExpr); ok && p.isObjIdent(ix.X, obj) && !stopped {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						p.Reportf(ix.Pos(), "%s is nil in this branch; writing into a nil map will panic", obj.Name())
+						continue
+					}
+				}
+				p.checkNilUses(obj, t, lhs, &stopped)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := n.X.(*ast.Ident); ok && p.objectOf(id) == obj {
+					stopped = true // address escapes; assume reinitialized
+					return false
+				}
+			}
+		case ast.Expr:
+			p.checkNilUses(obj, t, n, &stopped)
+			return false
+		}
+		return true
+	})
+}
+
+// checkNilUses reports panicking uses of obj within expr.
+func (p *Pass) checkNilUses(obj types.Object, t types.Type, expr ast.Expr, stopped *bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if *stopped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The closure may run after obj is reassigned elsewhere;
+			// stay silent, and stop tracking if it touches obj.
+			touches := false
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && p.objectOf(id) == obj {
+					touches = true
+				}
+				return !touches
+			})
+			if touches {
+				*stopped = true
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := n.X.(*ast.Ident); ok && p.objectOf(id) == obj {
+					*stopped = true
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if p.isObjIdent(n.X, obj) && derefPanics(t, "select") {
+				p.Reportf(n.Pos(), "%s is nil in this branch; %s dereference will panic", obj.Name(), kindWord(t))
+			}
+		case *ast.StarExpr:
+			if p.isObjIdent(n.X, obj) && derefPanics(t, "deref") {
+				p.Reportf(n.Pos(), "%s is nil in this branch; dereference will panic", obj.Name())
+			}
+		case *ast.IndexExpr:
+			if p.isObjIdent(n.X, obj) && derefPanics(t, "index") {
+				p.Reportf(n.Pos(), "%s is nil in this branch; indexing will panic", obj.Name())
+			}
+		case *ast.SliceExpr:
+			// Slicing a nil slice is legal only for [:0]-style bounds;
+			// be conservative and stay silent.
+		case *ast.CallExpr:
+			if p.isObjIdent(n.Fun, obj) && derefPanics(t, "call") {
+				p.Reportf(n.Pos(), "%s is nil in this branch; calling it will panic", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func (p *Pass) isObjIdent(e ast.Expr, obj types.Object) bool {
+	if par, ok := e.(*ast.ParenExpr); ok {
+		e = par.X
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && p.objectOf(id) == obj
+}
+
+// derefPanics reports whether the given use of a nil value of type t
+// panics (or, for channels, blocks forever — reported the same way).
+func derefPanics(t types.Type, use string) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer:
+		return use == "select" || use == "deref" || use == "index"
+	case *types.Interface:
+		return use == "select" || use == "call"
+	case *types.Signature:
+		return use == "call"
+	case *types.Slice:
+		return use == "index"
+	case *types.Map:
+		// Reading m[k] from a nil map is legal; only writes panic, and
+		// index-as-assignment-target is handled by the caller walking
+		// AssignStmt LHS through this same path.
+		return false
+	case *types.Array:
+		return false
+	}
+	return false
+}
+
+func kindWord(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Pointer:
+		return "nil-pointer"
+	case *types.Interface:
+		return "nil-interface"
+	default:
+		return "nil"
+	}
+}

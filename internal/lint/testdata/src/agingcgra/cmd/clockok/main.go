@@ -1,0 +1,13 @@
+// Package main (cmd scope) may read the wall clock: process entry
+// points timestamp reports and benchmarks. No findings expected.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

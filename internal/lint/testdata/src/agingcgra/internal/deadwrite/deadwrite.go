@@ -1,0 +1,67 @@
+// Package deadwrite seeds unusedwrite violations: values overwritten
+// before any read.
+package deadwrite
+
+// Overwrite assigns twice with no read between.
+func Overwrite(a, b int) int {
+	x := a // want `value assigned to x is never used: it is overwritten at line 8`
+	x = b
+	return x
+}
+
+// DoubleCompute discards the zero-init and the first computation.
+func DoubleCompute(a, b int) int {
+	y := 0    // want `value assigned to y is never used: it is overwritten at line 15`
+	y = a * 2 // want `value assigned to y is never used: it is overwritten at line 16`
+	y = b * 3
+	return y
+}
+
+// ReadBetween is fine: the first value is consumed.
+func ReadBetween(a, b int) int {
+	x := a
+	sum := x + 1
+	x = b
+	return x + sum
+}
+
+// ControlFlowBetween is fine: the branch may read or leave.
+func ControlFlowBetween(a, b int, c bool) int {
+	x := a
+	if c {
+		return x
+	}
+	x = b
+	return x
+}
+
+// LoopCarried is fine: break delivers the first value past the loop.
+func LoopCarried(a, b int, c bool) int {
+	x := 0
+	for {
+		x = a
+		if c {
+			break
+		}
+		x = b
+		_ = x
+		break
+	}
+	return x
+}
+
+// Aliased is fine: the closure can read every write.
+func Aliased(a, b int) func() int {
+	x := a
+	f := func() int { return x }
+	x = b
+	return f
+}
+
+// AddressTaken is fine: writes reach readers through the pointer.
+func AddressTaken(a, b int) int {
+	x := a
+	p := &x
+	x = b
+	return *p
+}

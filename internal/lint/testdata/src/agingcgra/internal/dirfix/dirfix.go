@@ -1,0 +1,39 @@
+// Package dirfix seeds directive violations: //cgravet:ignore forms
+// that must themselves be findings and must not suppress anything.
+package dirfix
+
+import "time"
+
+// MissingReason has an ignore with no reason: the directive is a
+// finding AND the wallclock finding it tried to cover still fires.
+func MissingReason() time.Time {
+	return time.Now() //cgravet:ignore wallclock
+	// want-1 `missing reason: want //cgravet:ignore wallclock <why this exception is safe>` `time\.Now reads the wall clock`
+}
+
+// MissingEverything has a bare ignore.
+func MissingEverything() time.Time {
+	return time.Now() //cgravet:ignore
+	// want-1 `missing analyzer name and reason` `time\.Now reads the wall clock`
+}
+
+// UnknownAnalyzer names an analyzer that does not exist, so nothing is
+// suppressed.
+func UnknownAnalyzer() time.Time {
+	return time.Now() //cgravet:ignore wallhack definitely a real analyzer
+	// want-1 `unknown analyzer "wallhack" in //cgravet:ignore directive` `time\.Now reads the wall clock`
+}
+
+// SpacedDirective uses the spaced near-miss spelling, which Go
+// directive convention treats as a plain comment.
+func SpacedDirective() time.Time {
+	// cgravet:ignore wallclock spaced directives are inert
+	// want-1 `malformed cgravet directive: want //cgravet:ignore <analyzer> <reason>`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// ValidSuppression is the correct form: reason present, analyzer
+// known, finding suppressed — only the directive-free line fires.
+func ValidSuppression() time.Time {
+	return time.Now() //cgravet:ignore wallclock fixture exception: documented and audited
+}

@@ -1,0 +1,52 @@
+// Package lifetime seeds traceemit violations: trace emission outside
+// Run's epoch loop, where memo-replayed epochs would not re-emit.
+package lifetime
+
+import "agingcgra/internal/trace"
+
+// Scenario carries the opt-in sink.
+type Scenario struct {
+	Trace trace.Sink
+}
+
+// Run is the epoch loop: direct emission and emit* helpers are legal
+// here.
+func Run(sc Scenario) {
+	for epoch := 0; epoch < 4; epoch++ {
+		runEpoch(sc, epoch)
+		if sc.Trace != nil {
+			sc.Trace.Emit(trace.Event{Kind: "epoch", Epoch: epoch})
+			emitSummary(sc, epoch)
+		}
+	}
+}
+
+// emitSummary is an emit* helper: emission and nested emit* calls are
+// legal here.
+func emitSummary(sc Scenario, epoch int) {
+	sc.Trace.Emit(trace.Event{Kind: "summary", Epoch: epoch})
+	emitDetail(sc, epoch)
+}
+
+func emitDetail(sc Scenario, epoch int) {
+	sc.Trace.Emit(trace.Event{Kind: "detail", Epoch: epoch})
+}
+
+// runEpoch simulates one epoch; its work is memoized, so emission from
+// here would vanish on replayed epochs.
+func runEpoch(sc Scenario, epoch int) {
+	if sc.Trace != nil {
+		sc.Trace.Emit(trace.Event{Kind: "fault", Epoch: epoch}) // want `trace emission in runEpoch: events may only be emitted from Run's epoch loop`
+		emitSummary(sc, epoch)                                  // want `call of emitSummary in runEpoch: emit\* helpers may only be invoked from Run's epoch loop`
+	}
+}
+
+// observe is neither Run nor an emit* helper.
+func observe(sc Scenario, epoch int) {
+	sc.Trace.Emit(trace.Event{Kind: "observe", Epoch: epoch}) // want `trace emission in observe: events may only be emitted from Run's epoch loop`
+}
+
+// annotated carries a documented exception.
+func annotated(sc Scenario) {
+	sc.Trace.Emit(trace.Event{Kind: "meta"}) //cgravet:ignore traceemit fixture exception: emission outside the epoch loop
+}

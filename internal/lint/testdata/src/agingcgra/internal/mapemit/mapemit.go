@@ -1,0 +1,93 @@
+// Package mapemit seeds maporder violations: map iteration order
+// reaching slices, writers, and channels unsorted.
+package mapemit
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// UnsortedKeys appends map keys and never sorts them: the returned
+// slice is in randomized map order.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration records randomized map order`
+	}
+	return keys
+}
+
+// EmitRows writes rows straight from map iteration.
+func EmitRows(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s,%d\n", k, v) // want `Fprintf called inside map iteration emits in randomized map order`
+	}
+}
+
+// BuildReport streams into a builder declared outside the loop.
+func BuildReport(m map[string]int) string {
+	var b bytes.Buffer
+	for k := range m {
+		b.WriteString(k) // want `WriteString called inside map iteration emits in randomized map order`
+	}
+	return b.String()
+}
+
+// PublishValues sends map values on a shared channel.
+func PublishValues(ch chan<- int, m map[string]int) {
+	for _, v := range m {
+		ch <- v // want `send on ch inside map iteration publishes values in randomized map order`
+	}
+}
+
+// SortedKeys is the blessed collect-then-sort idiom: no finding.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedByHelper sorts through a project-convention sort* helper.
+func SortedByHelper(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sortInts(ks)
+	return ks
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+// PerIterationBuffer builds per-key state inside the loop and stores
+// it keyed by k: order-independent, no finding.
+func PerIterationBuffer(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "%d", v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+// Aggregate folds commutatively: no finding.
+func Aggregate(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// AnnotatedEmit is a documented exception.
+func AnnotatedEmit(w io.Writer, m map[string]int) {
+	for _, v := range m {
+		fmt.Fprintf(w, "%d", v) //cgravet:ignore maporder fixture exception: commutative output
+	}
+}

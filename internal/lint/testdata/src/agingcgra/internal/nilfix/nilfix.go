@@ -1,0 +1,80 @@
+// Package nilfix seeds nilness violations: uses of values that are
+// provably nil in their branch.
+package nilfix
+
+// Node is a linked structure for pointer cases.
+type Node struct {
+	Value int
+	Next  *Node
+}
+
+// Closer is an interface for nil-interface cases.
+type Closer interface {
+	Close() error
+}
+
+// HeadValue dereferences a pointer in the branch where it is nil.
+func HeadValue(n *Node) int {
+	if n == nil {
+		return n.Value // want `n is nil in this branch; nil-pointer dereference will panic`
+	}
+	return n.Value
+}
+
+// CloseAll calls through a nil interface in the inverted guard.
+func CloseAll(c Closer) error {
+	if c != nil {
+		return c.Close()
+	} else {
+		return c.Close() // want `c is nil in this branch; nil-interface dereference will panic`
+	}
+}
+
+// FirstOf indexes a slice known to be nil.
+func FirstOf(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `xs is nil in this branch; indexing will panic`
+	}
+	return xs[0]
+}
+
+// Record writes into a map known to be nil.
+func Record(m map[string]int, k string) {
+	if m == nil {
+		m[k] = 1 // want `m is nil in this branch; writing into a nil map will panic`
+	}
+	m[k] = 2
+}
+
+// Invoke calls a func value known to be nil.
+func Invoke(f func() int) int {
+	if f == nil {
+		return f() // want `f is nil in this branch; calling it will panic`
+	}
+	return f()
+}
+
+// GuardThenInit is the legal idiom: the branch reassigns before use.
+func GuardThenInit(n *Node) int {
+	if n == nil {
+		n = &Node{Value: 7}
+		return n.Value
+	}
+	return n.Value
+}
+
+// NilMapRead is legal: reading a nil map yields the zero value.
+func NilMapRead(m map[string]int, k string) int {
+	if m == nil {
+		return m[k]
+	}
+	return m[k]
+}
+
+// LenOfNil is legal: len of a nil slice is 0.
+func LenOfNil(xs []int) int {
+	if xs == nil {
+		return len(xs)
+	}
+	return len(xs)
+}

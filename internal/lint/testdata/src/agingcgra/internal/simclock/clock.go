@@ -1,0 +1,36 @@
+// Package simclock seeds wallclock violations for the linttest suite:
+// wall-clock reads inside a simulation package.
+package simclock
+
+import "time"
+
+// Age mixes wall time into a simulation result: two distinct seeded
+// violations (a read and an interval).
+func Age(start time.Time) float64 {
+	now := time.Now()            // want `time\.Now reads the wall clock inside simulation package`
+	elapsed := time.Since(start) // want `time\.Since reads the wall clock inside simulation package`
+	return now.Sub(start).Seconds() + elapsed.Seconds()
+}
+
+// Wait schedules against the wall clock.
+func Wait() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep stalls on the wall clock`
+}
+
+// Span is fine: time.Duration values are explicit, not sampled.
+func Span(n int) time.Duration {
+	return time.Duration(n) * time.Second
+}
+
+// Deadline is a documented exception, suppressed by a trailing
+// directive with a mandatory reason.
+func Deadline() time.Time {
+	return time.Now() //cgravet:ignore wallclock fixture exception: request deadline plumbing
+}
+
+//cgravet:ignore wallclock fixture exception: whole-function annotation via doc comment
+func wholeFuncExempt() time.Time {
+	a := time.Now()
+	b := time.Now()
+	return a.Add(time.Since(b))
+}

@@ -1,0 +1,31 @@
+// Package simrand seeds globalrand violations: draws from math/rand's
+// process-global generator inside a simulation package.
+package simrand
+
+import "math/rand"
+
+// Draw takes three distinct global draws and a reseed.
+func Draw() int {
+	n := rand.Intn(16)                      // want `rand\.Intn draws from math/rand's process-global PRNG`
+	f := rand.Float64()                     // want `rand\.Float64 draws from math/rand's process-global PRNG`
+	rand.Seed(42)                           // want `rand\.Seed draws from math/rand's process-global PRNG`
+	return n + int(f*float64(rand.Int63())) // want `rand\.Int63 draws from math/rand's process-global PRNG`
+}
+
+// SeededDraw is the blessed idiom: explicitly seeded local state.
+func SeededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(16)
+}
+
+// Local holds a reference to local generator state; the type names
+// rand.Rand and rand.Source are not draws.
+type Local struct {
+	r   *rand.Rand
+	src rand.Source
+}
+
+// Annotated is a documented exception.
+func Annotated() int {
+	return rand.Int() //cgravet:ignore globalrand fixture exception: deliberate one-shot draw
+}

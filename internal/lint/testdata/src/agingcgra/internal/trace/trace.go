@@ -1,0 +1,22 @@
+// Package trace is a fixture stub of the real internal/trace: just
+// enough surface for the traceemit analyzer fixtures to type-check.
+package trace
+
+// Event is one observability record.
+type Event struct {
+	Kind  string
+	Epoch int
+}
+
+// Sink receives the event stream of one scenario run.
+type Sink interface {
+	Emit(Event)
+}
+
+// Recorder collects events in emission order.
+type Recorder struct {
+	Events []Event
+}
+
+// Emit appends ev.
+func (r *Recorder) Emit(ev Event) { r.Events = append(r.Events, ev) }

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Traceemit enforces the PR 9 memo-replay invariant inside
+// internal/lifetime: every trace event is emitted from Run's epoch
+// loop — either directly or through a helper whose name starts with
+// "emit" that only Run (or another emit* helper) calls — and never
+// from runEpoch. Emission inside runEpoch would be skipped when a
+// memoized epoch replays, so traced and untraced runs (and warm and
+// cold stores) would stop being byte-identical. Concretely the
+// analyzer flags, in package agingcgra/internal/lifetime:
+//
+//   - any reference to trace.Sink's Emit (call or method value)
+//     outside Run / emit* functions, and
+//   - any call of an emit* helper from a function other than Run or
+//     another emit* helper.
+//
+// A new event kind must source its data from the memoized epoch
+// outcome or from state the loop recomputes every epoch; if a design
+// genuinely needs another emission site, annotate it:
+// //cgravet:ignore traceemit <reason>.
+var Traceemit = &Analyzer{
+	Name: "traceemit",
+	Doc:  "restrict trace emission in internal/lifetime to Run's epoch loop (memo-replay invariant)",
+	Run:  runTraceemit,
+}
+
+const (
+	lifetimePkgPath = modulePath + "/internal/lifetime"
+	tracePkgPath    = modulePath + "/internal/trace"
+)
+
+func runTraceemit(pass *Pass) error {
+	if pass.Pkg.Path() != lifetimePkgPath {
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if n.Sel.Name != "Emit" || !pass.isTracePkgMethod(n.Sel) {
+					return true
+				}
+				if fn := enclosingFuncName(stack); !traceEmitAllowed(fn) {
+					pass.Reportf(n.Pos(),
+						"trace emission in %s: events may only be emitted from Run's epoch loop or an emit* helper, never here — a memo-replayed epoch would not re-emit them (PR 9 invariant)",
+						describeFunc(fn))
+				}
+			case *ast.CallExpr:
+				id, ok := n.Fun.(*ast.Ident)
+				if !ok || !strings.HasPrefix(id.Name, "emit") {
+					return true
+				}
+				if fnObj, ok := pass.TypesInfo.Uses[id].(*types.Func); !ok || fnObj.Pkg() == nil || fnObj.Pkg().Path() != lifetimePkgPath {
+					return true
+				}
+				if fn := enclosingFuncName(stack); !traceEmitAllowed(fn) {
+					pass.Reportf(n.Pos(),
+						"call of %s in %s: emit* helpers may only be invoked from Run's epoch loop or another emit* helper — a memo-replayed epoch would not re-emit their events (PR 9 invariant)",
+						id.Name, describeFunc(fn))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTracePkgMethod reports whether sel resolves to a method declared
+// by (or promoted from) a type of the internal/trace package — the
+// Sink interface's Emit and any concrete sink's Emit.
+func (p *Pass) isTracePkgMethod(sel *ast.Ident) bool {
+	obj, ok := p.TypesInfo.Uses[sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Pkg().Path() == tracePkgPath
+}
+
+// traceEmitAllowed reports whether a function name is a legal
+// emission site.
+func traceEmitAllowed(name string) bool {
+	return name == "Run" || strings.HasPrefix(name, "emit")
+}
+
+// enclosingFuncName returns the name of the innermost enclosing
+// function declaration ("" for file scope; function literals inherit
+// the name of the declaration that contains them, since a closure
+// built inside Run still runs — or not — with Run's loop).
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+func describeFunc(name string) string {
+	if name == "" {
+		return "file scope"
+	}
+	return name
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Unusedwrite is a standard-library reimplementation of the core
+// pattern of the stock x/tools unusedwrite analyzer (the real one
+// needs SSA from golang.org/x/tools, which this dependency-free tree
+// cannot import): a value assigned to a local variable that is
+// overwritten by a later assignment in the same straight-line
+// statement sequence without ever being read is dead — usually a
+// forgotten use or a copy-paste bug.
+//
+// The subset is deliberately conservative. Only plain assignments to
+// local identifiers are tracked; variables whose address is taken or
+// that any function literal captures are never tracked (a call could
+// read them through the alias); and any statement other than a plain
+// assignment or call expression — control flow, defer, go, declarations
+// — clears all tracking, because execution could leave the straight
+// line between the write and the overwrite.
+var Unusedwrite = &Analyzer{
+	Name: "unusedwrite",
+	Doc:  "report values assigned to a variable and overwritten before any read (stdlib subset of the stock unusedwrite check)",
+	Run:  runUnusedwrite,
+}
+
+func runUnusedwrite(pass *Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			aliased := pass.collectAliased(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if block, ok := n.(*ast.BlockStmt); ok {
+					pass.checkBlockWrites(block.List, aliased)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectAliased returns every object whose value a function call or
+// later statement could observe without naming it: address-taken
+// variables (via the root of the & operand) and everything referenced
+// inside a function literal.
+func (p *Pass) collectAliased(body ast.Node) map[types.Object]bool {
+	aliased := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if obj := p.rootObj(n.X); obj != nil {
+					aliased[obj] = true
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := p.objectOf(id); obj != nil {
+						aliased[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return aliased
+}
+
+// trackable reports whether obj is a local variable whose reads are
+// fully visible to straight-line scanning.
+func (p *Pass) trackable(obj types.Object, aliased map[types.Object]bool) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || aliased[obj] {
+		return false
+	}
+	// Package-level variables are readable by any call.
+	return v.Parent() != nil && v.Parent() != p.Pkg.Scope()
+}
+
+// checkBlockWrites scans one statement list for write-then-overwrite
+// sequences with no intervening read.
+func (p *Pass) checkBlockWrites(list []ast.Stmt, aliased map[types.Object]bool) {
+	// pending maps a variable to the position of its last unread write.
+	pending := map[types.Object]token.Pos{}
+
+	for _, stmt := range list {
+		assign, isAssign := stmt.(*ast.AssignStmt)
+		_, isExpr := stmt.(*ast.ExprStmt)
+		if !isAssign && !isExpr {
+			// Control flow, defer, go, declarations, inc/dec, ...:
+			// execution may leave the straight line here, so earlier
+			// writes can be read on paths we do not model.
+			pending = map[types.Object]token.Pos{}
+			continue
+		}
+		if !isAssign || (assign.Tok != token.ASSIGN && assign.Tok != token.DEFINE) {
+			// Calls cannot read a non-aliased local; op-assigns (+=)
+			// read their own LHS. Either way, clear what is read.
+			p.clearReads(stmt, pending)
+			continue
+		}
+
+		var writeTargets []*ast.Ident
+		for _, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				writeTargets = append(writeTargets, id)
+				continue
+			}
+			// x.f = ... or x[i] = ... reads x.
+			p.clearReads(lhs, pending)
+		}
+		for _, rhs := range assign.Rhs {
+			p.clearReads(rhs, pending)
+		}
+
+		for _, id := range writeTargets {
+			obj := p.objectOf(id)
+			if obj == nil || !p.trackable(obj, aliased) {
+				continue
+			}
+			if prev, dead := pending[obj]; dead {
+				p.Reportf(prev, "value assigned to %s is never used: it is overwritten at line %d before any read",
+					id.Name, p.Fset.Position(id.Pos()).Line)
+			}
+			pending[obj] = id.Pos()
+		}
+	}
+}
+
+// clearReads removes from pending every variable referenced under n.
+func (p *Pass) clearReads(n ast.Node, pending map[types.Object]token.Pos) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := p.objectOf(id); obj != nil {
+				delete(pending, obj)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock enforces the determinism contract's first rule: simulation
+// packages (the module root and internal/...) never read the wall
+// clock. Results must be a pure function of (scenario, seed) —
+// byte-identical serial vs parallel, warm vs cold — and a time.Now
+// anywhere under internal/ is how wall time leaks into that function.
+// Wall time may only enter via cmd/ (benchmark timing, report
+// timestamps) or service request plumbing, and any genuine exception
+// must be annotated: //cgravet:ignore wallclock <reason>.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock reads (time.Now, time.Since, ...) in simulation packages",
+	Run:  runWallclock,
+}
+
+// wallclockBanned is every package-level func of time that observes
+// the wall clock or schedules against it. Constructors of explicit
+// values (time.Date, time.Unix, time.Duration arithmetic) are fine.
+var wallclockBanned = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "stalls on the wall clock",
+	"Tick":      "schedules on the wall clock",
+	"After":     "schedules on the wall clock",
+	"AfterFunc": "schedules on the wall clock",
+	"NewTicker": "schedules on the wall clock",
+	"NewTimer":  "schedules on the wall clock",
+}
+
+func runWallclock(pass *Pass) error {
+	if !pass.InSimulationScope() {
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			why, banned := wallclockBanned[sel.Sel.Name]
+			if !banned {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s %s inside simulation package %s; results must be a pure function of (scenario, seed) — wall time may only enter via cmd/ or service request plumbing",
+				sel.Sel.Name, why, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
